@@ -1,0 +1,58 @@
+"""Shared benchmark infrastructure.
+
+Each benchmark module reproduces one table or figure from the paper's
+evaluation (see DESIGN.md §3).  Besides pytest-benchmark timings, every
+experiment registers a human-readable results table through the
+``figure_report`` fixture; the tables are printed in the terminal
+summary (so they land in ``bench_output.txt``) and written under
+``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Sequence, Tuple
+
+import pytest
+
+_REPORTS: List[Tuple[str, List[str]]] = []
+_RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def format_series(header: Sequence[str], rows: Sequence[Sequence[object]]) -> List[str]:
+    """Align a small table of series points for the report."""
+    cells = [[str(h) for h in header]] + [
+        [f"{v:.4g}" if isinstance(v, float) else str(v) for v in row] for row in rows
+    ]
+    widths = [max(len(r[i]) for r in cells) for i in range(len(header))]
+    lines = [" | ".join(c.ljust(w) for c, w in zip(cells[0], widths))]
+    lines.append("-+-".join("-" * w for w in widths))
+    lines.extend(" | ".join(c.ljust(w) for c, w in zip(row, widths)) for row in cells[1:])
+    return lines
+
+
+@pytest.fixture()
+def figure_report():
+    """Register a titled results table for the run summary."""
+
+    def register(title: str, lines: List[str]) -> None:
+        _REPORTS.append((title, list(lines)))
+        os.makedirs(_RESULTS_DIR, exist_ok=True)
+        head = title.split("(")[0].split("—")[0].strip()
+        slug = "".join(c if c.isalnum() else "_" for c in head.lower()).strip("_")[:60]
+        with open(os.path.join(_RESULTS_DIR, f"{slug}.txt"), "w") as fh:
+            fh.write(title + "\n")
+            fh.write("\n".join(lines) + "\n")
+
+    return register
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _REPORTS:
+        return
+    terminalreporter.section("paper figure / table reproductions")
+    for title, lines in _REPORTS:
+        terminalreporter.write_line("")
+        terminalreporter.write_line(f"== {title} ==")
+        for line in lines:
+            terminalreporter.write_line("  " + line)

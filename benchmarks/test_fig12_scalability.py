@@ -1,0 +1,73 @@
+"""Fig 12: response time with different numbers of nodes.
+
+Paper setup: the previous experiment's workload, run with varying node
+counts.  Paper finding: "Feisu's performance increases linearly with the
+number of nodes ... contributed by Feisu's scale-out design."
+
+We hold the dataset and query stream fixed and sweep the cluster from 4
+to 32 leaves; response time should fall near-linearly in node count (we
+check the speedup from 4 to 32 nodes is at least half of the ideal 8x,
+and monotone throughout).
+"""
+
+import pytest
+
+from benchmarks._harness import eval_cluster, load_t1, run_stream
+from benchmarks.conftest import format_series
+from repro import LeafConfig
+from repro.workload.generator import scan_query_stream
+
+NODE_SWEEP = [(1, 2, 2), (1, 2, 4), (1, 2, 8), (1, 2, 16)]  # (dc, racks, nodes/rack)
+N_QUERIES = 30
+
+
+def _queries():
+    return scan_query_stream(
+        "T1",
+        ["click_count", "position", "user_id"],
+        value_range=(0, 40),
+        count=N_QUERIES,
+        seed=67,
+        pool_size=16,
+        reuse_probability=0.0,  # pure cold scans: isolate the scale-out effect
+    )
+
+
+def _run(shape):
+    dc, racks, per_rack = shape
+    cluster = eval_cluster(
+        LeafConfig(enable_smartindex=False),  # no warm-up effects in this figure
+        datacenters=dc,
+        racks_per_datacenter=racks,
+        nodes_per_rack=per_rack,
+    )
+    load_t1(cluster, rows=48_000, num_fields=12, block_rows=750)
+    stats = run_stream(cluster, _queries())
+    times = [s["response_time_s"] for s in stats]
+    return dc * racks * per_rack, sum(times) / len(times)
+
+
+@pytest.mark.benchmark(group="fig12")
+def test_fig12_scalability(benchmark, figure_report):
+    def sweep():
+        return [_run(shape) for shape in NODE_SWEEP]
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    base_nodes, base_time = rows[0]
+    table = [
+        (nodes, t, base_time / t, nodes / base_nodes)
+        for nodes, t in rows
+    ]
+    figure_report(
+        "Fig 12: mean response time vs. cluster size (fixed workload)",
+        format_series(["nodes", "response (s)", "speedup", "ideal"], table),
+    )
+
+    times = [t for _n, t in rows]
+    # Response time falls monotonically with node count...
+    assert all(a > b for a, b in zip(times, times[1:]))
+    # ...and the 4->32 node speedup is near-linear (>= half of ideal 8x).
+    speedup = times[0] / times[-1]
+    assert speedup > 4.0
+    # Not super-linear (that would indicate an accounting bug).
+    assert speedup < 10.0

@@ -1,0 +1,103 @@
+"""Fig 9(a): scan performance with and without SmartIndex.
+
+Paper setup (§VI-B-1): randomly parameterized scan queries
+
+    SELECT a FROM T1 WHERE b OP1 v1 [[AND|OR] c OP2 v2]
+
+run against T1 on one storage system.  Paper finding: "query performance
+improves as more queries are processed ... when the number of queries
+processed goes above 4,000, the performance is improved by more than 3x
+compared to the case when SmartIndex is disabled."
+
+We run a scaled stream (the predicate pool and reuse rate mirror the
+production similarity of Fig 5) on two identically shaped clusters —
+SmartIndex on vs. off — and report per-bucket mean response times.
+"""
+
+import pytest
+
+from benchmarks._harness import bucket_means, eval_cluster, load_t1, run_stream
+from benchmarks.conftest import format_series
+from repro import LeafConfig
+from repro.workload.generator import scan_query_stream
+
+N_QUERIES = 320
+BUCKET = 40
+
+
+def _queries():
+    return scan_query_stream(
+        "T1",
+        ["click_count", "position", "user_id"],
+        value_range=(0, 40),
+        count=N_QUERIES,
+        seed=23,
+        contains_column="url",
+        contains_values=[f"site{i}" for i in range(5)],
+        pool_size=24,
+        reuse_probability=0.8,
+    )
+
+
+def _run(enable_smartindex: bool):
+    cluster = eval_cluster(LeafConfig(enable_smartindex=enable_smartindex))
+    load_t1(cluster, rows=20_000, num_fields=12, block_rows=2048)
+    stats = run_stream(cluster, _queries())
+    return [s["response_time_s"] for s in stats]
+
+
+@pytest.mark.benchmark(group="fig9a")
+def test_fig9a_smartindex_scan(benchmark, figure_report):
+    def run_both():
+        return _run(True), _run(False)
+
+    with_idx, without_idx = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    w = bucket_means(with_idx, BUCKET)
+    wo = bucket_means(without_idx, BUCKET)
+    rows = [
+        (f"{(i + 1) * BUCKET}", wo_s, w_s, wo_s / w_s)
+        for i, (w_s, wo_s) in enumerate(zip(w, wo))
+    ]
+    figure_report(
+        "Fig 9(a): scan latency with vs. without SmartIndex "
+        f"({N_QUERIES} randomly parameterized scans)",
+        format_series(
+            ["queries processed", "no index (s)", "SmartIndex (s)", "speedup"], rows
+        ),
+    )
+
+    # Shape assertions from the paper:
+    # (1) without SmartIndex, performance stays flat (no warm-up effect);
+    assert max(wo) / min(wo) < 1.8
+    # (2) with SmartIndex, performance improves as queries are processed;
+    assert w[-1] < w[0]
+    # (3) once warm, the improvement is a multiple (paper: >3x at 4,000
+    #     production queries; we require >2x at our scaled stream length).
+    assert wo[-1] / w[-1] > 2.0
+
+
+@pytest.mark.benchmark(group="fig9a")
+def test_fig9a_io_reduction_mechanism(benchmark, figure_report):
+    """The speedup's mechanism per the paper: 'reduction of I/O when a
+    query predicate has SmartIndex'.  Verify bytes, not just time."""
+
+    def run():
+        cluster = eval_cluster(LeafConfig(enable_smartindex=True))
+        load_t1(cluster, rows=20_000, num_fields=12, block_rows=2048)
+        stats = run_stream(cluster, _queries())
+        io = [s["io_bytes_modeled"] for s in stats]
+        return bucket_means(io, BUCKET)
+
+    io_buckets = benchmark.pedantic(run, rounds=1, iterations=1)
+    figure_report(
+        "Fig 9(a) mechanism: modeled scan bytes per query over the stream",
+        format_series(
+            ["queries processed", "mean scan MB/query"],
+            [((i + 1) * BUCKET, b / 1e6) for i, b in enumerate(io_buckets)],
+        ),
+    )
+    # The warm half of the stream reads substantially less than the cold
+    # start.  (Full-cover queries still read the projected result column,
+    # so the floor is the payload read, not zero.)
+    warm = io_buckets[len(io_buckets) // 2 :]
+    assert sum(warm) / len(warm) < 0.75 * io_buckets[0]

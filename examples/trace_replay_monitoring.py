@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Operations view: replay a production-shaped trace, watch the cluster.
+
+Combines three pieces the paper's operators relied on:
+
+* the §IV-A drill-down workload generator producing a timed trace;
+* the replay harness driving it through the cluster with real arrival
+  gaps on the simulated clock (so index TTLs and cache churn behave);
+* the monitoring surface (§III-C: shadows serve "monitoring running
+  information") summarizing device, network, index and job health.
+
+Run with::
+
+    python examples/trace_replay_monitoring.py
+"""
+
+from repro import FeisuCluster, FeisuConfig
+from repro.workload.datasets import DatasetSpec, load_paper_datasets
+from repro.workload.generator import WorkloadConfig, WorkloadGenerator
+from repro.workload.replay import TraceReplayer
+
+
+def main() -> None:
+    cluster = FeisuCluster(FeisuConfig(datacenters=1, racks_per_datacenter=2, nodes_per_rack=8))
+    spec = DatasetSpec("T1", 16_000, 12, "storage-a", 16_000 * 1500, seed=101)
+    tables = load_paper_datasets(cluster, [spec], block_rows=2048)
+
+    gen = WorkloadGenerator(
+        "T1",
+        tables["T1"].schema,
+        WorkloadConfig(num_users=10, think_time_s=400.0, seed=55, aggregate_fraction=0.8),
+        value_ranges={"click_count": (0, 50), "position": (1, 10), "user_id": (0, 5000)},
+        contains_values={"url": [f"site{i}" for i in range(5)]},
+    )
+    trace = gen.generate(4 * 3600.0)[:120]
+    print(f"replaying {len(trace)} queries from {len({q.user for q in trace})} analysts "
+          f"over a simulated {trace[-1].at_s / 3600:.1f} h window...\n")
+
+    replayer = TraceReplayer(cluster, time_compression=1.0)
+    report = replayer.replay(trace)
+
+    times = sorted(report.response_times())
+    print("== service profile ==")
+    print(f"  queries:      {report.count} ({report.success_ratio():.0%} ok)")
+    print(f"  median:       {report.percentile(0.5) * 1000:8.1f} ms")
+    print(f"  p95:          {report.percentile(0.95) * 1000:8.1f} ms")
+    print(f"  worst:        {times[-1] * 1000:8.1f} ms")
+
+    m = cluster.metrics()
+    print("\n== cluster monitoring snapshot ==")
+    for key, value in m.as_dict().items():
+        if isinstance(value, float) and not float(value).is_integer():
+            print(f"  {key:36s} {value:12.4f}")
+        else:
+            print(f"  {key:36s} {value:12g}")
+
+    stats = cluster.aggregate_index_stats()
+    print(
+        f"\nSmartIndex across the trace: {stats.hits + stats.complement_hits}"
+        f"/{stats.lookups} lookups hit "
+        f"({stats.creations} entries created, {stats.evictions_ttl} TTL evictions)"
+    )
+
+
+if __name__ == "__main__":
+    main()

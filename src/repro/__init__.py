@@ -1,0 +1,36 @@
+"""Feisu reproduction: fast query execution over heterogeneous data
+sources on large-scale clusters (Qin et al., ICDE 2017).
+
+Quickstart::
+
+    from repro import FeisuCluster, FeisuConfig, Schema, DataType
+
+    cluster = FeisuCluster(FeisuConfig(nodes_per_rack=4))
+    cluster.load_table("T", Schema.of(x=DataType.INT64), {"x": values})
+    result = cluster.query("SELECT COUNT(*) FROM T WHERE x > 10")
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+reproduction of every table and figure in the paper.
+"""
+
+from repro.cluster.jobs import JobOptions
+from repro.cluster.node import LeafConfig
+from repro.columnar.schema import DataType, Field, Schema
+from repro.core.feisu import FeisuCluster, FeisuConfig
+from repro.engine.executor import QueryResult
+from repro.errors import FeisuError
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DataType",
+    "FeisuCluster",
+    "FeisuConfig",
+    "FeisuError",
+    "Field",
+    "JobOptions",
+    "LeafConfig",
+    "QueryResult",
+    "Schema",
+    "__version__",
+]

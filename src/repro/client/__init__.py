@@ -1,0 +1,6 @@
+"""Client-end: syntax checking, access verification, query history."""
+
+from repro.client.client import FeisuClient, SyntaxReport
+from repro.client.history import HistoryEntry, QueryHistory
+
+__all__ = ["FeisuClient", "HistoryEntry", "QueryHistory", "SyntaxReport"]

@@ -1,0 +1,197 @@
+"""The Feisu client-end (§III-C).
+
+"The client-end is a versatile component with pluggable framework to
+support command-line tool, website-based service, and third-party tools.
+It has two major functionalities: query syntax checking and access right
+verification."
+
+:class:`FeisuClient` wraps a :class:`~repro.core.feisu.FeisuCluster` for
+one user:
+
+* :meth:`check_syntax` validates SQL *before* submission and returns a
+  guided error message;
+* submission verifies the user's table rights client-side first, so bad
+  requests never reach the master;
+* every query feeds the per-user :class:`QueryHistory`, and
+  :meth:`install_preferences` turns frequent predicates into SmartIndex
+  preference pins on every leaf (private indexes for this user).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.client.history import QueryHistory
+from repro.cluster.jobs import Job, JobOptions
+from repro.core.feisu import FeisuCluster
+from repro.engine.executor import QueryResult
+from repro.errors import AccessDeniedError, ParseError
+from repro.sql.analyzer import analyze
+from repro.sql.parser import parse
+
+
+@dataclass
+class SyntaxReport:
+    """Outcome of client-side syntax checking."""
+
+    ok: bool
+    message: str = ""
+    position: int = -1
+
+
+class FeisuClient:
+    """A per-user handle onto a Feisu deployment."""
+
+    def __init__(self, cluster: FeisuCluster, user: str):
+        self.cluster = cluster
+        self.user = user
+        self.history = QueryHistory()
+        # Ensure the user exists (no-op if already created by the caller).
+        if user not in cluster._credentials:  # noqa: SLF001 - facade-internal
+            cluster.create_user(user)
+
+    # -- client-side verification ------------------------------------------
+
+    def check_syntax(self, sql: str) -> SyntaxReport:
+        """Validate syntax only; never contacts the servers."""
+        try:
+            parse(sql)
+        except ParseError as exc:
+            hint = _hint_for(str(exc))
+            message = f"{exc}{('; ' + hint) if hint else ''}"
+            return SyntaxReport(ok=False, message=message, position=exc.position)
+        return SyntaxReport(ok=True)
+
+    def verify_access(self, sql: str) -> None:
+        """Raise :class:`AccessDeniedError` if the user lacks rights to
+        any referenced table (mirrors the production pre-flight)."""
+        analyzed = analyze(parse(sql), self.cluster.catalog)
+        self.cluster.acl.check_read(
+            self.user, [t.name for t in analyzed.tables.values()]
+        )
+
+    # -- querying -------------------------------------------------------------
+
+    def query(self, sql: str, options: Optional[JobOptions] = None) -> QueryResult:
+        """Syntax-check, verify rights, submit, record history."""
+        report = self.check_syntax(sql)
+        if not report.ok:
+            raise ParseError(report.message, position=report.position, text=sql)
+        analyzed = analyze(parse(sql), self.cluster.catalog)
+        self.cluster.acl.check_read(self.user, [t.name for t in analyzed.tables.values()])
+        result = self.cluster.query(sql, user=self.user, options=options)
+        self.history.record(self.cluster.sim.now, self.user, sql, analyzed)
+        return result
+
+    def query_job(self, sql: str, options: Optional[JobOptions] = None) -> Job:
+        analyzed = analyze(parse(sql), self.cluster.catalog)
+        job = self.cluster.query_job(sql, user=self.user, options=options)
+        self.history.record(self.cluster.sim.now, self.user, sql, analyzed)
+        return job
+
+    def explain(self, sql: str) -> str:
+        """Show the master's physical plan without executing the query."""
+        report = self.check_syntax(sql)
+        if not report.ok:
+            raise ParseError(report.message, position=report.position, text=sql)
+        self.verify_access(sql)
+        return self.cluster.explain(sql)
+
+    def explain_analyze(self, sql: str, options: Optional[JobOptions] = None) -> str:
+        """Execute the query and render the plan *plus* what actually
+        happened: per-task timings, index coverage, backups, stragglers.
+
+        The production system exposed "monitoring running information"
+        (§III-C); this is its query-scoped view.
+        """
+        plan_text = self.explain(sql)
+        job = self.query_job(sql, options=options)
+        lines = [plan_text, "", "execution:"]
+        lines.append(
+            f"  response: {job.stats.response_time_s:.4f}s simulated"
+            + (
+                f" (queued {job.started_at - job.submitted_at:.4f}s)"
+                if job.started_at and job.started_at > job.submitted_at
+                else ""
+            )
+        )
+        timeline = job.task_timeline
+        lines.append(
+            f"  tasks: {job.stats.tasks_completed}/{job.stats.tasks_total} completed, "
+            f"{job.stats.tasks_reused} reused, {job.stats.backups_launched} backups, "
+            f"{job.stats.results_spilled} spilled"
+        )
+        covered = sum(t.index_full_cover for t in timeline)
+        lines.append(
+            f"  SmartIndex: {covered}/{len(timeline)} attempts fully covered, "
+            f"{job.stats.io_bytes_modeled / 1e6:.1f} MB modeled scan"
+        )
+        if timeline:
+            slowest = sorted(timeline, key=lambda t: -t.duration_s)[:5]
+            lines.append("  slowest task attempts:")
+            for t in slowest:
+                flags = "".join(
+                    [" [covered]" if t.index_full_cover else "", " [backup]" if t.backup else ""]
+                )
+                lines.append(
+                    f"    {t.task_id} on {t.worker_id}: {t.duration_s * 1000:.2f} ms, "
+                    f"{t.io_bytes_modeled / 1e6:.1f} MB{flags}"
+                )
+        return "\n".join(lines)
+
+    # -- SmartIndex personalization ----------------------------------------------
+
+    def install_preferences(self, top: int = 5, since: Optional[float] = None) -> List[str]:
+        """Pin the user's most frequent predicates in every leaf's index
+        cache (§IV-C-2 user preference interface).  Returns pinned keys."""
+        frequent = self.history.frequent_predicates(self.user, since=since, top=top)
+        keys = [key for key, _count in frequent]
+        for leaf in self.cluster.leaves:
+            if leaf.index_manager is not None:
+                for key in keys:
+                    leaf.index_manager.prefer_predicate(key)
+        return keys
+
+    # -- presentation (the "command-line tool" plug-in) -----------------------------
+
+    @staticmethod
+    def format_table(result: QueryResult, max_rows: int = 20) -> str:
+        """Render a result as an aligned text table."""
+        rows = result.rows()[:max_rows]
+        headers = list(result.columns)
+        cells = [[_fmt(v) for v in row] for row in rows]
+        widths = [
+            max(len(h), *(len(r[i]) for r in cells)) if cells else len(h)
+            for i, h in enumerate(headers)
+        ]
+        lines = [
+            " | ".join(h.ljust(w) for h, w in zip(headers, widths)),
+            "-+-".join("-" * w for w in widths),
+        ]
+        for row in cells:
+            lines.append(" | ".join(v.ljust(w) for v, w in zip(row, widths)))
+        if result.num_rows > max_rows:
+            lines.append(f"... ({result.num_rows - max_rows} more rows)")
+        return "\n".join(lines)
+
+
+def _fmt(v: object) -> str:
+    if isinstance(v, float):
+        return f"{v:.6g}"
+    return str(v)
+
+
+_HINTS: Sequence[Tuple[str, str]] = (
+    ("expected FROM", "every query needs a FROM clause: SELECT ... FROM table"),
+    ("expected expression", "check for a trailing comma or missing operand"),
+    ("unterminated string", "string literals use single quotes: 'value'"),
+    ("unknown function", "supported: COUNT SUM AVG MIN MAX LENGTH LOWER UPPER ABS"),
+)
+
+
+def _hint_for(message: str) -> str:
+    for needle, hint in _HINTS:
+        if needle in message:
+            return hint
+    return ""

@@ -1,0 +1,94 @@
+"""Per-user query history (§III-C client).
+
+"The client-end also collects user query histories to personalize data
+indexing and caching.  Differently from the query collection in master
+component, collection on the client side is used for SmartIndex to build
+private index for specific users or user groups."
+
+:class:`QueryHistory` records each submitted query's structural features
+(columns touched, canonical predicate keys) and surfaces the frequent
+ones so the client can install SmartIndex preferences.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.planner.cnf import to_cnf
+from repro.sql.analyzer import AnalyzedQuery
+from repro.sql.ast import Column, walk
+
+
+@dataclass(frozen=True)
+class HistoryEntry:
+    """One recorded query."""
+
+    at: float
+    user: str
+    sql: str
+    tables: Tuple[str, ...]
+    columns: Tuple[str, ...]
+    predicate_keys: Tuple[str, ...]
+
+
+class QueryHistory:
+    """Append-only log of query features with frequency queries."""
+
+    def __init__(self, capacity: int = 100_000):
+        self.capacity = capacity
+        self._entries: List[HistoryEntry] = []
+
+    def record(self, at: float, user: str, sql: str, analyzed: AnalyzedQuery) -> HistoryEntry:
+        columns = set()
+        for exprs in ([analyzed.query.where] if analyzed.query.where else []):
+            for node in walk(exprs):
+                if isinstance(node, Column):
+                    columns.add(node.name)
+        for expr in analyzed.output_exprs:
+            for node in walk(expr):
+                if isinstance(node, Column):
+                    columns.add(node.name)
+        keys = tuple(a.key for a in to_cnf(analyzed.query.where).atoms)
+        entry = HistoryEntry(
+            at=at,
+            user=user,
+            sql=sql,
+            tables=tuple(sorted(t.name for t in analyzed.tables.values())),
+            columns=tuple(sorted(columns)),
+            predicate_keys=keys,
+        )
+        self._entries.append(entry)
+        if len(self._entries) > self.capacity:
+            self._entries = self._entries[-self.capacity :]
+        return entry
+
+    def entries(self, user: Optional[str] = None, since: Optional[float] = None) -> List[HistoryEntry]:
+        out = self._entries
+        if user is not None:
+            out = [e for e in out if e.user == user]
+        if since is not None:
+            out = [e for e in out if e.at >= since]
+        return list(out)
+
+    def frequent_predicates(
+        self, user: Optional[str] = None, since: Optional[float] = None, top: int = 10
+    ) -> List[Tuple[str, int]]:
+        """Most repeated canonical predicate keys — the candidates for
+        per-user SmartIndex preferences."""
+        counter: Counter = Counter()
+        for entry in self.entries(user, since):
+            counter.update(set(entry.predicate_keys))
+        return counter.most_common(top)
+
+    def frequent_columns(
+        self, user: Optional[str] = None, since: Optional[float] = None, top: int = 10
+    ) -> List[Tuple[str, int]]:
+        counter: Counter = Counter()
+        for entry in self.entries(user, since):
+            counter.update(set(entry.columns))
+        return counter.most_common(top)
+
+    def __len__(self) -> int:
+        return len(self._entries)

@@ -1,0 +1,131 @@
+"""Primary/backup replication for master components (§III-C).
+
+"For reliability, components (the primary) are running with backups,
+which don't provide service until the primary ones crash.  The backup
+components get checkpoint and operations log from the primary in
+realtime, so that they will reach the same running state as the primary.
+Since the backup ones are shadows of the primary, they can provide
+functionalities such as monitoring running information to reduce the
+burdens on the primary."
+
+:class:`PrimaryBackup` is a generic replicated state machine capturing
+exactly that contract: writes go through :meth:`apply` on the primary and
+stream to the shadow with a replication lag; reads for *monitoring*
+purposes may be served by the shadow; on primary failure the shadow
+replays any remaining log and takes over.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generic, List, Optional, Tuple, TypeVar
+
+from repro.errors import ClusterStateError
+from repro.sim.events import Simulator
+
+S = TypeVar("S")
+
+#: How far (in applied ops) the shadow may trail the primary.
+DEFAULT_MAX_LAG_OPS = 32
+
+
+@dataclass
+class _Replica(Generic[S]):
+    state: S
+    applied: int = 0
+
+
+class PrimaryBackup(Generic[S]):
+    """A replicated component: one primary, one shadow, one op log.
+
+    ``make_state`` builds an empty state; ``ops`` are ``(fn, args)``
+    closures applied identically to both replicas.  Determinism of ops is
+    the caller's contract (all our cluster state ops are deterministic).
+    """
+
+    def __init__(self, sim: Simulator, make_state: Callable[[], S], name: str = "component"):
+        self.sim = sim
+        self.name = name
+        self._make_state = make_state
+        self._primary: Optional[_Replica[S]] = _Replica(make_state())
+        self._shadow: Optional[_Replica[S]] = _Replica(make_state())
+        self._log: List[Tuple[Callable[..., None], Tuple[Any, ...]]] = []
+        self.failovers = 0
+
+    # -- writes ------------------------------------------------------------
+
+    def apply(self, op: Callable[..., None], *args: Any) -> None:
+        """Apply a mutation through the primary and log it for the shadow."""
+        if self._primary is None:
+            raise ClusterStateError(f"{self.name}: no primary to serve writes")
+        self._log.append((op, args))
+        op(self._primary.state, *args)
+        self._primary.applied += 1
+        self._replicate()
+
+    def _replicate(self) -> None:
+        """Stream the op log to the shadow, keeping lag bounded."""
+        if self._shadow is None:
+            return
+        while self._primary.applied - self._shadow.applied > DEFAULT_MAX_LAG_OPS:
+            self._catch_up_one()
+
+    def _catch_up_one(self) -> None:
+        assert self._shadow is not None
+        op, args = self._log[self._shadow.applied]
+        op(self._shadow.state, *args)
+        self._shadow.applied += 1
+
+    def sync_shadow(self) -> None:
+        """Drain the full log into the shadow (periodic checkpoint)."""
+        if self._shadow is None:
+            return
+        while self._shadow.applied < self._primary.applied:
+            self._catch_up_one()
+
+    # -- reads ----------------------------------------------------------------
+
+    @property
+    def state(self) -> S:
+        """Authoritative state (primary)."""
+        if self._primary is None:
+            raise ClusterStateError(f"{self.name}: component entirely down")
+        return self._primary.state
+
+    def monitoring_state(self) -> S:
+        """Possibly stale state served by the shadow (paper: shadows serve
+        monitoring to offload the primary)."""
+        if self._shadow is not None:
+            return self._shadow.state
+        return self.state
+
+    @property
+    def shadow_lag_ops(self) -> int:
+        if self._shadow is None or self._primary is None:
+            return 0
+        return self._primary.applied - self._shadow.applied
+
+    # -- failure handling --------------------------------------------------------
+
+    def fail_primary(self) -> None:
+        """Crash the primary; the shadow replays the log and takes over."""
+        if self._primary is None:
+            raise ClusterStateError(f"{self.name}: primary already down")
+        if self._shadow is None:
+            self._primary = None
+            raise ClusterStateError(f"{self.name}: lost both replicas")
+        # The shadow replays from the durable op log — not from the dead
+        # primary — so recovery needs only the log entries it missed.
+        while self._shadow.applied < len(self._log):
+            self._catch_up_one()
+        self._primary = self._shadow
+        self._shadow = None
+        self.failovers += 1
+
+    def start_new_shadow(self) -> None:
+        """Bring up a fresh shadow from a checkpoint (full log replay)."""
+        replica: _Replica[S] = _Replica(self._make_state())
+        for op, args in self._log:
+            op(replica.state, *args)
+            replica.applied += 1
+        self._shadow = replica

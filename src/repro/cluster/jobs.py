@@ -1,0 +1,220 @@
+"""Jobs and the job manager (§III-C).
+
+The job manager "maintains the running information of user query jobs"
+and — the detail this module centres on — "tries to reuse other running
+job's task result if tasks are identical" before a new job enters the
+candidate queue.  Task identity is structural: same block, same scan
+predicates, same projected columns, same aggregation fragment.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.engine.executor import QueryResult, TaskResult
+from repro.planner.physical import PhysicalPlan, ScanTask
+from repro.sim.events import Event, Simulator
+
+_job_counter = itertools.count()
+
+
+class JobStatus(enum.Enum):
+    PENDING = "pending"
+    RUNNING = "running"
+    SUCCEEDED = "succeeded"
+    FAILED = "failed"
+    TIMED_OUT = "timed_out"
+
+
+@dataclass
+class JobOptions:
+    """User-visible execution knobs (§III-C fault-tolerance paragraph)."""
+
+    #: Hard limit on total elapsed (simulated) seconds; None = unbounded.
+    max_time_s: Optional[float] = None
+    #: Return early once this fraction of tasks has completed (<1.0
+    #: "avoid[s] long-tail influence"); also the floor below which a
+    #: deadline expiry becomes a timeout error.
+    min_processed_ratio: float = 1.0
+    #: Launch speculative backup copies of straggling tasks.
+    enable_backup: bool = True
+    #: Results whose modeled size exceeds this are dumped to global
+    #: storage and "only the location information is passed" (§V-C).
+    spill_threshold_bytes: float = 1024**3
+    #: Scan only this fraction of blocks, chosen deterministically —
+    #: §II case 3's "periodically analyze sampled hot data to check the
+    #: indicators".  The result's ``processed_ratio`` reports the actual
+    #: fraction; aggregates are over the sample (indicators, not exact).
+    sample_block_ratio: Optional[float] = None
+
+
+@dataclass
+class JobStats:
+    """Aggregated execution counters for one job."""
+
+    tasks_total: int = 0
+    tasks_completed: int = 0
+    tasks_reused: int = 0
+    tasks_failed: int = 0
+    backups_launched: int = 0
+    results_spilled: int = 0
+    pruned_blocks: int = 0
+    io_bytes_modeled: float = 0.0
+    cpu_ops_modeled: float = 0.0
+    index_full_covers: int = 0
+    index_clause_hits: int = 0
+    index_clause_misses: int = 0
+    response_time_s: float = 0.0
+
+    def absorb(self, result: TaskResult) -> None:
+        report = result.report
+        self.tasks_completed += 1
+        self.io_bytes_modeled += report.modeled_io_bytes
+        self.cpu_ops_modeled += report.modeled_cpu_ops
+        self.index_full_covers += int(report.index_full_cover)
+        self.index_clause_hits += report.index_clause_hits
+        self.index_clause_misses += report.index_clause_misses
+
+
+@dataclass
+class TaskTiming:
+    """One task attempt's execution timeline entry (EXPLAIN ANALYZE)."""
+
+    task_id: str
+    worker_id: str
+    started_at: float
+    finished_at: float
+    io_bytes_modeled: float
+    cpu_ops_modeled: float
+    index_full_cover: bool
+    backup: bool = False
+
+    @property
+    def duration_s(self) -> float:
+        return self.finished_at - self.started_at
+
+
+@dataclass
+class Job:
+    """One admitted query's lifecycle record."""
+
+    job_id: str
+    user: str
+    sql: str
+    plan: PhysicalPlan
+    options: JobOptions
+    submitted_at: float
+    status: JobStatus = JobStatus.PENDING
+    #: When the scheduler actually emitted the job (queueing delay =
+    #: started_at - submitted_at, §III-C's candidate queue).
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    result: Optional[QueryResult] = None
+    error: Optional[BaseException] = None
+    stats: JobStats = field(default_factory=JobStats)
+    #: Per-task-attempt execution records, in completion order.
+    task_timeline: List[TaskTiming] = field(default_factory=list)
+
+    @property
+    def response_time_s(self) -> float:
+        end = self.finished_at if self.finished_at is not None else self.submitted_at
+        return end - self.submitted_at
+
+
+def new_job(user: str, sql: str, plan: PhysicalPlan, options: JobOptions, now: float) -> Job:
+    job = Job(
+        job_id=f"job-{next(_job_counter)}",
+        user=user,
+        sql=sql,
+        plan=plan,
+        options=options,
+        submitted_at=now,
+    )
+    job.stats.tasks_total = len(plan.tasks)
+    job.stats.pruned_blocks = plan.pruned_blocks
+    return job
+
+
+def task_signature(plan: PhysicalPlan, task: ScanTask) -> Tuple:
+    """Structural identity of a task: equal signatures ⇒ equal results."""
+    analyzed = plan.analyzed
+    agg_sig = (
+        tuple(str(k) for k in analyzed.group_keys),
+        tuple((a.func, str(a.argument)) for a in analyzed.aggregates),
+    )
+    broadcast_sig = tuple(
+        (bc.binding, bc.table_name, bc.columns, bc.kind.value, str(bc.condition))
+        for bc in plan.broadcasts
+    )
+    return (
+        task.block.path,
+        tuple(sorted(str(c) for c in plan.scan_cnf.clauses)),
+        task.columns,
+        plan.is_aggregate,
+        agg_sig,
+        str(plan.post_filter),
+        broadcast_sig,
+    )
+
+
+class JobManager:
+    """Job registry plus the identical-task reuse cache."""
+
+    def __init__(self, sim: Simulator, reuse_completed_window_s: float = 0.0):
+        self.sim = sim
+        #: How long a *finished* task result stays reusable.  The paper
+        #: reuses results of running jobs; a nonzero window extends that
+        #: to recently finished ones (ablation knob).
+        self.reuse_completed_window_s = reuse_completed_window_s
+        self.jobs: Dict[str, Job] = {}
+        self._in_flight: Dict[Tuple, Event] = {}
+        self._completed: Dict[Tuple, Tuple[TaskResult, float]] = {}
+        self.reuse_hits_running = 0
+        self.reuse_hits_completed = 0
+
+    def register(self, job: Job) -> None:
+        self.jobs[job.job_id] = job
+
+    # -- task reuse ------------------------------------------------------
+
+    def lookup_task(self, sig: Tuple) -> Optional[Event]:
+        """An event resolving to a TaskResult for an identical task, if
+        one is running or recently finished."""
+        ev = self._in_flight.get(sig)
+        if ev is not None and not (ev.triggered and not ev.ok):
+            self.reuse_hits_running += 1
+            return ev
+        hit = self._completed.get(sig)
+        if hit is not None:
+            result, at = hit
+            if self.sim.now - at <= self.reuse_completed_window_s:
+                self.reuse_hits_completed += 1
+                done = self.sim.event(name="task-reuse")
+                done.succeed(result)
+                return done
+            del self._completed[sig]
+        return None
+
+    def track_task(self, sig: Tuple, done: Event) -> None:
+        """Publish an in-flight task for other jobs to piggyback on."""
+        self._in_flight[sig] = done
+
+        def on_done(ev: Event) -> None:
+            if self._in_flight.get(sig) is done:
+                del self._in_flight[sig]
+            if ev.ok and self.reuse_completed_window_s > 0:
+                self._completed[sig] = (ev.value, self.sim.now)
+
+        done.add_callback(on_done)
+
+    # -- reporting ---------------------------------------------------------
+
+    def finished_jobs(self) -> List[Job]:
+        return [
+            j
+            for j in self.jobs.values()
+            if j.status in (JobStatus.SUCCEEDED, JobStatus.FAILED, JobStatus.TIMED_OUT)
+        ]

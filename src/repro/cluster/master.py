@@ -1,0 +1,675 @@
+"""The Feisu master: entry guard, job manager, scheduler, finalization.
+
+Mirrors §III-C's component split: the :class:`EntryGuard` admits traffic
+(identity, rights, quota), the job manager analyzes semantics and reuses
+identical tasks, the job scheduler creates the scheduling plan, and task
+results are summarized bottom-up (leaf → stem → master) before the
+client sees them.  Oversized results take the §V-C write flow: dumped to
+global storage with only the location passed upstream.  Primary/backup
+replication of master-component state is provided by
+:class:`repro.cluster.failover.PrimaryBackup`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Generator, List, Optional, Set, Tuple
+
+from repro.cluster.jobs import (
+    Job,
+    TaskTiming,
+    JobManager,
+    JobOptions,
+    JobStatus,
+    new_job,
+    task_signature,
+)
+from repro.cluster.membership import ClusterManager
+from repro.cluster.messages import DISPATCH_BASE_BYTES, STATUS_BYTES, send
+from repro.cluster.node import LeafServer, StemServer
+from repro.cluster.scheduler import JobScheduler, Placement
+from repro.columnar.table import Catalog
+from repro.storage.loader import read_table_frame
+from repro.engine.executor import QueryResult, TaskResult, finalize
+from repro.errors import (
+    AccessDeniedError,
+    ClusterStateError,
+    FeisuError,
+    QueryTimeout,
+    SchedulingError,
+)
+from repro.planner.expressions import Frame
+from repro.planner.physical import PhysicalPlan, ScanTask, build_plan
+from repro.security.acl import AccessControl, QuotaPolicy, RateLimiter
+from repro.security.auth import Credential, SSOAuthority
+from repro.sim.events import Event, Simulator
+from repro.sim.netmodel import NetworkTopology, NodeAddress, TrafficClass
+from repro.sql.analyzer import analyze
+from repro.sql.parser import parse
+
+#: How many distinct leaves one task may be attempted on before failing.
+MAX_TASK_ATTEMPTS = 4
+
+
+class EntryGuard:
+    """The system's entry point: authentication, authorization, quota."""
+
+    def __init__(
+        self,
+        authority: SSOAuthority,
+        acl: AccessControl,
+        quota: QuotaPolicy,
+        rate_limiter: Optional["RateLimiter"] = None,
+    ):
+        self.authority = authority
+        self.acl = acl
+        self.quota = quota
+        #: Capability protection against malicious/runaway clients.
+        self.rate_limiter = rate_limiter
+        self.admitted = 0
+        self.rejected = 0
+
+    def admit(self, user: str, cred: Optional[Credential], tables: List[str], now: float) -> None:
+        try:
+            if cred is None:
+                raise AccessDeniedError(f"user {user!r} presented no credential")
+            self.authority.validate(cred, now=now)
+            if cred.user != user:
+                raise AccessDeniedError(
+                    f"credential belongs to {cred.user!r}, not {user!r}"
+                )
+            if self.rate_limiter is not None:
+                self.rate_limiter.check(user, now)
+            self.acl.check_read(user, tables)
+            self.quota.admit_query(user, now)
+        except AccessDeniedError:
+            self.rejected += 1
+            raise
+        self.admitted += 1
+
+
+class Master:
+    """Root of the server tree."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        net: NetworkTopology,
+        router,
+        catalog: Catalog,
+        cluster_manager: ClusterManager,
+        scheduler: JobScheduler,
+        entry_guard: EntryGuard,
+        address: NodeAddress = NodeAddress(0, 0, 0),
+        reuse_completed_window_s: float = 0.0,
+        service_credential: Optional[Credential] = None,
+        ledger=None,
+    ):
+        #: Cross-domain credential the master uses for internal data
+        #: movement (broadcast-table reads); mirrors SSO's "mapping their
+        #: authentication information to running job credential" (§III-C).
+        self.service_credential = service_credential
+        self.sim = sim
+        self.net = net
+        self.router = router
+        self.catalog = catalog
+        self.cluster_manager = cluster_manager
+        self.scheduler = scheduler
+        self.entry_guard = entry_guard
+        self.address = address
+        self.job_manager = JobManager(sim, reuse_completed_window_s)
+        self._stems: Dict[Tuple[int, int], StemServer] = {}
+        self._dc_stems: Dict[int, StemServer] = {}
+        #: §III-C: admitted jobs wait in a candidate queue until the
+        #: scheduler emits them; this caps concurrently running jobs.
+        self.max_concurrent_jobs = 64
+        self._running_jobs = 0
+        self._candidate_queue: List[Tuple[Job, Event]] = []
+        #: Durable job history replicated to the backup master (§III-C).
+        self.ledger = ledger
+        self._active: Dict[str, Tuple[Job, Event]] = {}
+        self._shut_down = False
+        sim.process(self._sweep_loop(), name="master.sweep")
+
+    def register_stem(self, stem: StemServer) -> None:
+        """Register a rack-level stem (the tree's lowest internal layer)."""
+        key = (stem.address.datacenter, stem.address.rack)
+        self._stems[key] = stem
+
+    def register_dc_stem(self, stem: StemServer) -> None:
+        """Register a datacenter-level stem above the rack stems.
+
+        The server tree then has three internal hops — leaf → rack stem →
+        dc stem → master — matching the paper's arbitrary-depth tree for
+        geo-distributed deployments.
+        """
+        self._dc_stems[stem.address.datacenter] = stem
+
+    def _stem_for(self, address: NodeAddress) -> Optional[StemServer]:
+        stem = self._stems.get((address.datacenter, address.rack))
+        if stem is not None and stem.alive:
+            return stem
+        # Fall back to any live stem (rack stem down).
+        for s in self._stems.values():
+            if s.alive:
+                return s
+        return None
+
+    def _dc_stem_for(self, address: NodeAddress) -> Optional[StemServer]:
+        stem = self._dc_stems.get(address.datacenter)
+        if stem is not None and stem.alive:
+            return stem
+        return None
+
+    def _aggregation_path(self, leaf_address: NodeAddress) -> List[StemServer]:
+        """The live internal nodes a result crosses, bottom-up."""
+        path: List[StemServer] = []
+        rack_stem = self._stem_for(leaf_address)
+        if rack_stem is not None:
+            path.append(rack_stem)
+        dc_stem = self._dc_stem_for(leaf_address)
+        if dc_stem is not None and dc_stem is not rack_stem:
+            path.append(dc_stem)
+        return path
+
+    def _sweep_loop(self) -> Generator[Event, None, None]:
+        while True:
+            yield self.sim.timeout(5.0)
+            self.cluster_manager.sweep()
+
+    # -- submission -----------------------------------------------------------
+
+    def submit(
+        self,
+        sql: str,
+        user: str,
+        cred: Optional[Credential],
+        options: Optional[JobOptions] = None,
+    ) -> Tuple[Job, Event]:
+        """Admit, plan and launch a query; returns (job, completion event).
+
+        The completion event's value is the job (inspect ``job.result``);
+        admission failures raise synchronously, exactly like the paper's
+        client-side verification.
+        """
+        if self._shut_down:
+            raise ClusterStateError("this master has shut down; resubmit to its successor")
+        options = options or JobOptions()
+        query = parse(sql)
+        analyzed = analyze(query, self.catalog)
+        self.entry_guard.admit(user, cred, [t.name for t in analyzed.tables.values()], self.sim.now)
+        plan = build_plan(analyzed)
+        job = new_job(user, sql, plan, options, self.sim.now)
+        self.job_manager.register(job)
+        done = self.sim.event(name=f"{job.job_id}.done")
+        if self._running_jobs < self.max_concurrent_jobs:
+            self._emit(job, done)
+        else:
+            self._candidate_queue.append((job, done))
+        return job, done
+
+    def _emit(self, job: Job, done: Event) -> None:
+        """Move a job from the candidate queue into execution."""
+        self._running_jobs += 1
+        job.started_at = self.sim.now
+        self._active[job.job_id] = (job, done)
+        if self.ledger is not None:
+            self.ledger.record_submitted(job.job_id, job.user, job.sql, job.submitted_at)
+        proc = self.sim.process(self._job_process(job, done), name=job.job_id)
+
+        def on_proc_outcome(ev) -> None:
+            # Safety net: an uncaught orchestration failure must resolve
+            # the client's wait with the error, never strand it.
+            if not ev.ok and not done.triggered:
+                self._finish_failed(job, done, ev._exc)  # noqa: SLF001
+
+        proc.add_callback(on_proc_outcome)
+
+    def _record_terminal(self, job: Job) -> None:
+        self._active.pop(job.job_id, None)
+        if self.ledger is not None:
+            if job.started_at is None:
+                # A job aborted straight from the candidate queue was
+                # never emitted; give the ledger its submission first so
+                # history carries the user/sql context.
+                self.ledger.record_submitted(
+                    job.job_id, job.user, job.sql, job.submitted_at
+                )
+            self.ledger.record_finished(job.job_id, job.status.value, self.sim.now)
+
+    def shutdown(self) -> int:
+        """Crash this master: every active job fails over to the client.
+
+        Returns how many in-flight/queued jobs were aborted.  Mirrors the
+        production failover contract — the backup takes over the durable
+        state (the ledger), clients resubmit interrupted queries.
+        """
+        self._shut_down = True
+        aborted = 0
+        exc = ClusterStateError("master failed over; resubmit the query")
+        for job, done in list(self._active.values()) + list(self._candidate_queue):
+            if job.status in (JobStatus.PENDING, JobStatus.RUNNING):
+                job.status = JobStatus.FAILED
+                job.error = exc
+                job.finished_at = self.sim.now
+                job.stats.response_time_s = job.response_time_s
+                self._record_terminal(job)
+                if not done.triggered:
+                    done.succeed(job)
+                aborted += 1
+        self._candidate_queue.clear()
+        self._running_jobs = 0
+        return aborted
+
+    def _job_finished(self) -> None:
+        self._running_jobs -= 1
+        if self._candidate_queue and self._running_jobs < self.max_concurrent_jobs:
+            job, done = self._candidate_queue.pop(0)
+            self._emit(job, done)
+
+    @property
+    def queued_jobs(self) -> int:
+        return len(self._candidate_queue)
+
+    def cancel(self, job_id: str) -> bool:
+        """Cancel a queued or running job.
+
+        Queued jobs leave the candidate queue; running jobs resolve
+        immediately with :class:`~repro.errors.QueryCancelled` (their
+        outstanding leaf tasks finish and are discarded — the paper's
+        tasks are side-effect-free reads).  Returns False for unknown or
+        already-finished jobs.
+        """
+        from repro.errors import QueryCancelled
+
+        for i, (job, done) in enumerate(self._candidate_queue):
+            if job.job_id == job_id:
+                del self._candidate_queue[i]
+                job.status = JobStatus.FAILED
+                job.error = QueryCancelled(f"{job_id} cancelled while queued")
+                job.finished_at = self.sim.now
+                self._record_terminal(job)
+                done.succeed(job)
+                return True
+        hit = self._active.get(job_id)
+        if hit is None:
+            return False
+        job, done = hit
+        if job.status not in (JobStatus.RUNNING, JobStatus.PENDING):
+            return False
+        job.status = JobStatus.FAILED
+        job.error = QueryCancelled(f"{job_id} cancelled by the user")
+        job.finished_at = self.sim.now
+        job.stats.response_time_s = job.response_time_s
+        self._record_terminal(job)
+        self._job_finished()
+        if not done.triggered:
+            done.succeed(job)
+        return True
+
+    @staticmethod
+    def _sampled_tasks(plan: PhysicalPlan, options: JobOptions) -> List[ScanTask]:
+        """Deterministic block sample (§II case 3's sampled indicators).
+
+        Selection hashes task ids, so the same query samples the same
+        blocks run-to-run — periodic indicator reports stay comparable.
+        """
+        ratio = options.sample_block_ratio
+        if ratio is None or ratio >= 1.0 or not plan.tasks:
+            return list(plan.tasks)
+        if ratio <= 0.0:
+            return []
+        import hashlib
+        import math
+
+        keep = max(1, math.ceil(len(plan.tasks) * ratio))
+        scored = sorted(
+            plan.tasks,
+            key=lambda t: hashlib.blake2b(
+                t.block.block_id.encode(), digest_size=8
+            ).digest(),
+        )
+        return scored[:keep]
+
+    # -- job orchestration -------------------------------------------------------
+
+    def _job_process(self, job: Job, done: Event) -> Generator[Event, None, None]:
+        job.status = JobStatus.RUNNING
+        plan = job.plan
+        try:
+            broadcasts = yield from self._fetch_broadcasts(plan)
+        except FeisuError as exc:
+            self._finish_failed(job, done, exc)
+            return
+
+        tasks = self._sampled_tasks(plan, job.options)
+        total = len(tasks)
+        if total == 0:
+            self._finish_ok(job, done, [], 1.0)
+            return
+
+        arrived: Dict[str, TaskResult] = {}
+        failed: Set[str] = set()
+        reused: Set[str] = set()
+        job_gate = self.sim.event(name=f"{job.job_id}.gate")
+        early_ratio = (
+            job.options.min_processed_ratio
+            if job.options.min_processed_ratio < 1.0
+            else None
+        )
+        sent_broadcast_to: Set[str] = set()
+
+        def check_done() -> None:
+            if job_gate.triggered:
+                return
+            completed = len(arrived)
+            if completed == total or (completed + len(failed)) == total:
+                job_gate.succeed()
+            elif early_ratio is not None and completed / total >= early_ratio:
+                job_gate.succeed()
+
+        def on_task(task: ScanTask):
+            def cb(ev: Event) -> None:
+                if job_gate.triggered:
+                    return
+                if ev.ok:
+                    arrived[task.task_id] = ev.value
+                    job.stats.absorb(ev.value)
+                    if task.task_id in reused:
+                        job.stats.tasks_reused += 1
+                else:
+                    failed.add(task.task_id)
+                    job.stats.tasks_failed += 1
+                check_done()
+
+            return cb
+
+        for task in tasks:
+            sig = task_signature(plan, task)
+            shared = self.job_manager.lookup_task(sig)
+            if shared is not None:
+                reused.add(task.task_id)
+                shared.add_callback(on_task(task))
+                continue
+            supervisor_done = self.sim.event(name=f"{task.task_id}.done")
+            self.job_manager.track_task(sig, supervisor_done)
+            self.sim.process(
+                self._task_supervisor(job, task, broadcasts, sent_broadcast_to, supervisor_done),
+                name=task.task_id,
+            )
+            supervisor_done.add_callback(on_task(task))
+
+        if job.options.max_time_s is not None:
+            def deadline() -> None:
+                if not job_gate.triggered:
+                    job_gate.succeed()
+
+            self.sim.schedule(job.options.max_time_s, deadline)
+
+        yield job_gate
+        # Completion is judged against what the job *intended* to scan
+        # (the sample, if one was requested); the reported ratio is the
+        # true fraction of the table's blocks that were processed.
+        completed_fraction = len(arrived) / total
+        sampled_fraction = total / max(len(plan.tasks), 1)
+        ratio = completed_fraction * sampled_fraction
+        if job.status not in (JobStatus.RUNNING, JobStatus.PENDING):
+            return  # cancelled or failed over while tasks were in flight
+        if completed_fraction < job.options.min_processed_ratio and completed_fraction < 1.0:
+            exc = QueryTimeout(
+                f"{job.job_id} processed {ratio:.0%} of data within limits",
+                processed_ratio=ratio,
+            )
+            job.status = JobStatus.TIMED_OUT
+            job.error = exc
+            job.finished_at = self.sim.now
+            job.stats.response_time_s = job.response_time_s
+            self._record_terminal(job)
+            self._job_finished()
+            done.succeed(job)
+            return
+        self._finish_ok(job, done, list(arrived.values()), ratio)
+
+    def _finish_ok(self, job: Job, done: Event, results: List[TaskResult], ratio: float) -> None:
+        if job.status not in (JobStatus.RUNNING, JobStatus.PENDING):
+            return  # already cancelled / failed over; don't resolve twice
+        try:
+            job.result = finalize(job.plan, results, processed_ratio=ratio)
+        except Exception as exc:  # noqa: BLE001 - surfaced to the client
+            # A finalization failure must never strand the client: the
+            # job resolves with the error attached.
+            self._finish_failed(job, done, exc)
+            return
+        job.result.stats = {
+            "io_bytes_modeled": job.stats.io_bytes_modeled,
+            "cpu_ops_modeled": job.stats.cpu_ops_modeled,
+            "index_full_covers": job.stats.index_full_covers,
+            "index_clause_hits": job.stats.index_clause_hits,
+            "index_clause_misses": job.stats.index_clause_misses,
+            "tasks_total": job.stats.tasks_total,
+            "tasks_reused": job.stats.tasks_reused,
+            "backups_launched": job.stats.backups_launched,
+        }
+        job.status = JobStatus.SUCCEEDED
+        job.finished_at = self.sim.now
+        job.stats.response_time_s = job.response_time_s
+        self._record_terminal(job)
+        self._job_finished()
+        done.succeed(job)
+
+    def _finish_failed(self, job: Job, done: Event, exc: BaseException) -> None:
+        if job.status not in (JobStatus.RUNNING, JobStatus.PENDING):
+            return
+        job.status = JobStatus.FAILED
+        job.error = exc
+        job.finished_at = self.sim.now
+        job.stats.response_time_s = job.response_time_s
+        self._record_terminal(job)
+        self._job_finished()
+        done.succeed(job)
+
+    # -- broadcast tables ----------------------------------------------------------
+
+    def _fetch_broadcasts(
+        self, plan: PhysicalPlan
+    ) -> Generator[Event, None, Dict[str, Frame]]:
+        """Read each joined dimension table once and charge its movement."""
+        broadcasts: Dict[str, Frame] = {}
+        for bc in plan.broadcasts:
+            table = self.catalog.get(bc.table_name)
+            columns = read_table_frame(
+                self.router, table, list(bc.columns), cred=self.service_credential, now=self.sim.now
+            )
+            frame = Frame.from_columns(columns)
+            for ref in table.blocks:
+                system, inner = self.router.resolve(ref.path)
+                replicas = system.locations(inner)
+                if replicas and self.address not in replicas:
+                    source = min(replicas, key=lambda r: self.net.distance(r, self.address))
+                    yield send(
+                        self.sim,
+                        self.net,
+                        source,
+                        self.address,
+                        int(ref.bytes_for(bc.columns) * ref.scale_factor),
+                        TrafficClass.READ,
+                    )
+            broadcasts[bc.binding] = frame
+        return broadcasts
+
+    @staticmethod
+    def _broadcast_bytes(broadcasts: Dict[str, Frame]) -> int:
+        total = 0
+        for frame in broadcasts.values():
+            for v in frame.columns.values():
+                total += v.nbytes if v.dtype != object else sum(len(str(x)) + 8 for x in v)
+        return total
+
+    # -- per-task supervision (dispatch, stem routing, backups) ---------------------
+
+    def _task_supervisor(
+        self,
+        job: Job,
+        task: ScanTask,
+        broadcasts: Dict[str, Frame],
+        sent_broadcast_to: Set[str],
+        done: Event,
+    ) -> Generator[Event, None, None]:
+        attempts: List[Event] = []
+        excluded: List[str] = []
+        estimates: List[float] = []
+        failures = [0]
+
+        def on_attempt(ev: Event) -> None:
+            if done.triggered:
+                return
+            if ev.ok:
+                done.succeed(ev.value)
+                return
+            failures[0] += 1
+            if failures[0] >= MAX_TASK_ATTEMPTS:
+                done.fail(ev._exc)  # noqa: SLF001
+                return
+            launched = _launch()
+            if not launched and failures[0] >= len(attempts):
+                done.fail(ev._exc)  # noqa: SLF001
+
+        def _launch() -> bool:
+            try:
+                placement = self.scheduler.place(task, job.plan.scan_cnf, exclude=excluded)
+            except SchedulingError:
+                return False
+            excluded.append(placement.leaf.worker_id)
+            estimates.append(placement.estimate_s)
+            proc = self.sim.process(
+                self._task_flow(
+                    job, task, placement, broadcasts, sent_broadcast_to,
+                    is_backup=bool(attempts),
+                ),
+                name=f"{task.task_id}.attempt{len(attempts)}",
+            )
+            attempts.append(proc)
+            proc.add_callback(on_attempt)
+            if len(attempts) > 1:
+                job.stats.backups_launched += 1
+            return True
+
+        if not _launch():
+            done.fail(SchedulingError(f"no leaf available for {task.task_id}"))
+            return
+
+        # Straggler watchdog: launch a backup if the first attempt is
+        # overdue past the cost-model estimate (§III-C backup tasks).
+        if job.options.enable_backup:
+            yield self.sim.timeout(self.scheduler.backup_deadline(estimates[0]))
+            if not done.triggered:
+                _launch()
+        if not done.triggered:
+            yield done
+
+    def _task_flow(
+        self,
+        job: Job,
+        task: ScanTask,
+        placement: Placement,
+        broadcasts: Dict[str, Frame],
+        sent_broadcast_to: Set[str],
+        is_backup: bool = False,
+    ) -> Generator[Event, None, TaskResult]:
+        leaf = placement.leaf
+        attempt_started = self.sim.now
+        # Dispatch flows down the tree — master [→ dc stem] → rack stem →
+        # leaf — on the control class (§III-B: stems "further dissect the
+        # plan to the leaf servers"; §V-C: task dispatch is control flow).
+        hop_from = self.address
+        for stem in reversed(self._aggregation_path(leaf.address)):
+            yield send(
+                self.sim, self.net, hop_from, stem.address, DISPATCH_BASE_BYTES, TrafficClass.CONTROL
+            )
+            hop_from = stem.address
+        yield send(
+            self.sim, self.net, hop_from, leaf.address, DISPATCH_BASE_BYTES, TrafficClass.CONTROL
+        )
+        # First task on this leaf for a join query ships the dimensions
+        # (write data flow: intermediate data, §V-C).
+        if broadcasts and leaf.worker_id not in sent_broadcast_to:
+            sent_broadcast_to.add(leaf.worker_id)
+            yield send(
+                self.sim,
+                self.net,
+                self.address,
+                leaf.address,
+                self._broadcast_bytes(broadcasts),
+                TrafficClass.WRITE,
+            )
+        result = yield from leaf.run_task(task, job.plan, broadcasts)
+        modeled = result.modeled_payload_bytes()
+        if modeled > job.options.spill_threshold_bytes:
+            # §V-C write flow: too-big results are dumped to global
+            # storage and only the location information is passed.
+            result = yield from self._spill_result(job, task, leaf, result, modeled)
+        else:
+            # Result summarized bottom-up through every live internal
+            # node: leaf → rack stem [→ dc stem] → master (read flow).
+            payload = result.payload_bytes()
+            hop_from = leaf.address
+            for stem in self._aggregation_path(leaf.address):
+                yield send(self.sim, self.net, hop_from, stem.address, payload, TrafficClass.READ)
+                result = yield from stem.merge(result)
+                hop_from = stem.address
+            yield send(self.sim, self.net, hop_from, self.address, payload, TrafficClass.READ)
+        yield send(
+            self.sim, self.net, leaf.address, self.address, STATUS_BYTES, TrafficClass.CONTROL
+        )
+        job.task_timeline.append(
+            TaskTiming(
+                task_id=task.task_id,
+                worker_id=leaf.worker_id,
+                started_at=attempt_started,
+                finished_at=self.sim.now,
+                io_bytes_modeled=result.report.modeled_io_bytes,
+                cpu_ops_modeled=result.report.modeled_cpu_ops,
+                index_full_cover=result.report.index_full_cover,
+                backup=is_backup,
+            )
+        )
+        return result
+
+    def _spill_result(
+        self,
+        job: Job,
+        task: ScanTask,
+        leaf: LeafServer,
+        result: TaskResult,
+        modeled_bytes: float,
+    ) -> Generator[Event, None, TaskResult]:
+        """Dump a big result to global storage; master fetches by location."""
+        from repro.engine.serialize import deserialize_result, serialize_result
+
+        spill_system = self._spill_system()
+        payload = serialize_result(result)
+        inner = f"/tmp/spill/{task.task_id.replace('/', '_')}"
+        # Leaf writes the intermediate data: local disk + WRITE-class
+        # transfer toward the global filesystem's replica holder.
+        yield leaf.disk.write(int(modeled_bytes))
+        spill_system.write(inner, payload, node=leaf.address)
+        replicas = spill_system.locations(inner)
+        remote = next((r for r in replicas if r != leaf.address), None)
+        if remote is not None:
+            yield send(self.sim, self.net, leaf.address, remote, int(modeled_bytes), TrafficClass.WRITE)
+        # Only the location travels the result path.
+        yield send(self.sim, self.net, leaf.address, self.address, STATUS_BYTES, TrafficClass.READ)
+        # Master fetches from the nearest replica on the read flow.
+        source = min(replicas, key=lambda r: self.net.distance(r, self.address))
+        yield send(self.sim, self.net, source, self.address, int(modeled_bytes), TrafficClass.READ)
+        fetched = deserialize_result(spill_system.read(inner))
+        spill_system.delete(inner)
+        job.stats.results_spilled += 1
+        return fetched
+
+    def _spill_system(self):
+        """The global filesystem used for intermediate dumps."""
+        for system in self.router.systems():
+            if system.scheme == "hdfs":
+                return system
+        return self.router.systems()[0]

@@ -1,0 +1,54 @@
+"""Cluster message size accounting and traffic-class routing (§V-C).
+
+Every control-plane and data-plane exchange in the simulated cluster goes
+through :func:`send` so the network model can charge it against the right
+traffic class: control/state flow first, write data flow second, read
+data flow last.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.sim.events import Event, Simulator
+from repro.sim.netmodel import NetworkTopology, NodeAddress, TrafficClass
+
+#: Size of a heartbeat message: worker id, load stats, slot counts.
+HEARTBEAT_BYTES = 256
+#: Base size of a task-dispatch message (plan fragment, predicate CNF).
+DISPATCH_BASE_BYTES = 2048
+#: Size of a task status update.
+STATUS_BYTES = 128
+
+
+def send(
+    sim: Simulator,
+    net: NetworkTopology,
+    src: NodeAddress,
+    dst: NodeAddress,
+    nbytes: int,
+    cls: TrafficClass,
+) -> Event:
+    """Transfer ``nbytes`` from ``src`` to ``dst``; completion event."""
+    return net.transfer(src, dst, max(1, int(nbytes)), cls)
+
+
+@dataclass
+class WorkerLoad:
+    """Load snapshot a worker reports in its heartbeat."""
+
+    running_tasks: int = 0
+    queued_tasks: int = 0
+    disk_queue_s: float = 0.0
+    cpu_queue_s: float = 0.0
+
+    @property
+    def pressure(self) -> float:
+        """Scalar the scheduler compares across candidate workers."""
+        return (
+            self.running_tasks
+            + self.queued_tasks
+            + 2.0 * self.disk_queue_s
+            + 2.0 * self.cpu_queue_s
+        )

@@ -1,0 +1,119 @@
+"""Cluster-wide metrics snapshots.
+
+The paper's shadow components "provide functionalities such as
+monitoring running information to reduce the burdens on the primary"
+(§III-C); this module is that monitoring surface: one call collects
+device utilizations, network link load, SmartIndex counters and job
+outcomes across the deployment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.cluster.jobs import JobStatus
+
+
+@dataclass
+class DeviceMetrics:
+    """Utilization of one device class aggregated over leaves."""
+
+    mean_utilization: float = 0.0
+    max_utilization: float = 0.0
+    total_bytes: float = 0.0
+
+
+@dataclass
+class ClusterMetrics:
+    """One point-in-time snapshot of the whole deployment."""
+
+    sim_time_s: float = 0.0
+    leaves_alive: int = 0
+    leaves_total: int = 0
+    disk: DeviceMetrics = field(default_factory=DeviceMetrics)
+    cpu: DeviceMetrics = field(default_factory=DeviceMetrics)
+    network_busiest_link_utilization: float = 0.0
+    network_total_bytes: float = 0.0
+    index_entries: int = 0
+    index_memory_bytes: int = 0
+    index_hit_rate: float = 0.0
+    jobs_total: int = 0
+    jobs_succeeded: int = 0
+    jobs_failed: int = 0
+    jobs_timed_out: int = 0
+    tasks_completed: int = 0
+    heartbeats_received: int = 0
+    jobs_queued: int = 0
+    results_spilled: int = 0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "sim_time_s": self.sim_time_s,
+            "leaves_alive": self.leaves_alive,
+            "leaves_total": self.leaves_total,
+            "disk_mean_utilization": self.disk.mean_utilization,
+            "disk_max_utilization": self.disk.max_utilization,
+            "disk_total_bytes": self.disk.total_bytes,
+            "cpu_mean_utilization": self.cpu.mean_utilization,
+            "cpu_max_utilization": self.cpu.max_utilization,
+            "network_busiest_link_utilization": self.network_busiest_link_utilization,
+            "network_total_bytes": self.network_total_bytes,
+            "index_entries": self.index_entries,
+            "index_memory_bytes": self.index_memory_bytes,
+            "index_hit_rate": self.index_hit_rate,
+            "jobs_total": self.jobs_total,
+            "jobs_succeeded": self.jobs_succeeded,
+            "jobs_failed": self.jobs_failed,
+            "jobs_timed_out": self.jobs_timed_out,
+            "tasks_completed": self.tasks_completed,
+            "heartbeats_received": self.heartbeats_received,
+            "jobs_queued": self.jobs_queued,
+            "results_spilled": self.results_spilled,
+        }
+
+
+def collect_metrics(cluster) -> ClusterMetrics:
+    """Snapshot a :class:`~repro.core.feisu.FeisuCluster`."""
+    m = ClusterMetrics(sim_time_s=cluster.sim.now)
+    leaves = cluster.leaves
+    m.leaves_total = len(leaves)
+    m.leaves_alive = sum(leaf.alive for leaf in leaves)
+    if leaves:
+        disk_utils = [leaf.disk.utilization() for leaf in leaves]
+        cpu_utils = [leaf.cpu.utilization() for leaf in leaves]
+        m.disk = DeviceMetrics(
+            mean_utilization=sum(disk_utils) / len(leaves),
+            max_utilization=max(disk_utils),
+            total_bytes=float(sum(leaf.disk.bytes_read for leaf in leaves)),
+        )
+        m.cpu = DeviceMetrics(
+            mean_utilization=sum(cpu_utils) / len(leaves),
+            max_utilization=max(cpu_utils),
+            total_bytes=float(sum(leaf.cpu.ops_executed for leaf in leaves)),
+        )
+        m.tasks_completed = sum(leaf.tasks_completed for leaf in leaves)
+
+    links = cluster.net.links()
+    if links:
+        m.network_busiest_link_utilization = max(ln.utilization() for ln in links)
+        m.network_total_bytes = float(sum(ln.bytes_carried for ln in links))
+
+    stats = cluster.aggregate_index_stats()
+    m.index_hit_rate = (
+        (stats.hits + stats.complement_hits) / stats.lookups if stats.lookups else 0.0
+    )
+    m.index_entries = sum(
+        leaf.index_manager.entry_count for leaf in leaves if leaf.index_manager is not None
+    )
+    m.index_memory_bytes = cluster.index_memory_used()
+
+    jobs = cluster.master.job_manager.jobs.values()
+    m.jobs_total = len(jobs)
+    m.jobs_succeeded = sum(j.status is JobStatus.SUCCEEDED for j in jobs)
+    m.jobs_failed = sum(j.status is JobStatus.FAILED for j in jobs)
+    m.jobs_timed_out = sum(j.status is JobStatus.TIMED_OUT for j in jobs)
+    m.heartbeats_received = cluster.cluster_manager.heartbeats_received
+    m.jobs_queued = cluster.master.queued_jobs
+    m.results_spilled = sum(j.stats.results_spilled for j in jobs)
+    return m

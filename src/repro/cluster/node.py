@@ -1,0 +1,339 @@
+"""Leaf and stem servers (§III-B/C).
+
+A :class:`LeafServer` is the light-weight Feisu process co-deployed on a
+storage node.  It owns the node's simulated devices (disk, SSD, CPU,
+NIC), a per-storage-system task-slot pool sized by the system's resource
+agreement (so Feisu never starves the business application), the node's
+SmartIndex cache, the SSD data cache, and optionally the B+ tree
+baseline.
+
+A :class:`StemServer` aggregates task results flowing up the tree and
+forwards one merged payload to the master per job.
+
+All timing flows through the DES devices; all results are computed for
+real by :mod:`repro.engine`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Generator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.cluster.membership import HEARTBEAT_PERIOD_S, ClusterManager
+from repro.cluster.messages import HEARTBEAT_BYTES, WorkerLoad, send
+from repro.columnar.block import Block
+from repro.engine.executor import TaskResult, execute_scan_task
+from repro.errors import ClusterStateError, ExecutionError
+from repro.index.btree import BPlusTree
+from repro.index.smartindex import SmartIndexManager
+from repro.planner.cost import CostModel
+from repro.planner.expressions import Frame
+from repro.planner.physical import PhysicalPlan, ScanTask
+from repro.sim.events import Event, Simulator
+from repro.sim.netmodel import NetworkTopology, NodeAddress, TrafficClass
+from repro.sim.resources import Cpu, Disk, Nic, Resource, Ssd
+from repro.storage.router import StorageRouter
+from repro.storage.ssd_cache import SsdCache
+
+
+@dataclass
+class LeafConfig:
+    """Per-leaf feature switches and sizes."""
+
+    enable_smartindex: bool = True
+    index_memory_bytes: int = 512 * 1024 * 1024
+    index_ttl_s: float = 72 * 3600.0
+    index_compress: bool = True
+    enable_btree: bool = False
+    enable_ssd_cache: bool = False
+    ssd_cache_bytes: int = 400 * 1024 * 1024 * 1024
+    ssd_admit_preferred_only: bool = True
+
+
+class LeafServer:
+    """One worker in leaf role."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        worker_id: str,
+        address: NodeAddress,
+        net: NetworkTopology,
+        router: StorageRouter,
+        cluster_manager: ClusterManager,
+        cost_model: CostModel = CostModel(),
+        config: LeafConfig = LeafConfig(),
+    ):
+        self.sim = sim
+        self.worker_id = worker_id
+        self.address = address
+        self.net = net
+        self.router = router
+        self.cluster_manager = cluster_manager
+        self.cost_model = cost_model
+        self.config = config
+        self.alive = True
+
+        self.disk = Disk(sim, name=f"{worker_id}.disk")
+        self.ssd = Ssd(sim, name=f"{worker_id}.ssd")
+        self.cpu = Cpu(sim, name=f"{worker_id}.cpu")
+        self.nic = Nic(sim, name=f"{worker_id}.nic")
+
+        self.index_manager: Optional[SmartIndexManager] = (
+            SmartIndexManager(
+                memory_budget_bytes=config.index_memory_bytes,
+                ttl_s=config.index_ttl_s,
+                compress=config.index_compress,
+            )
+            if config.enable_smartindex
+            else None
+        )
+        self.ssd_cache: Optional[SsdCache] = (
+            SsdCache(config.ssd_cache_bytes, config.ssd_admit_preferred_only)
+            if config.enable_ssd_cache
+            else None
+        )
+        self._btrees: Dict[Tuple[str, str], BPlusTree] = {}
+        self.btree_builds = 0
+
+        #: Per-storage-system task slots honouring resource agreements.
+        self._slots: Dict[str, Resource] = {}
+        for system in router.systems():
+            self._slots[system.name] = Resource(
+                sim, system.profile.tasks_per_node, name=f"{worker_id}.slots.{system.name}"
+            )
+
+        self.running_tasks = 0
+        self.queued_tasks = 0
+        self.tasks_completed = 0
+        cluster_manager.register(worker_id, address, is_stem=False)
+        sim.process(self._heartbeat_loop(), name=f"{worker_id}.heartbeat")
+
+    # -- resource agreements (§V-B) -----------------------------------------
+
+    def reclaim_slots(self, storage_name: str, slots: int) -> None:
+        """Shrink Feisu's task slots for one storage system.
+
+        §V-B: consolidated servers sometimes "have to give up resources
+        to guarantee the provision of high-priority online services";
+        Feisu reacts by queueing rather than refusing — running tasks
+        finish, new ones wait for the reduced slot pool.
+        """
+        try:
+            self._slots[storage_name].resize(max(1, slots))
+        except KeyError:
+            raise ClusterStateError(f"no storage system {storage_name!r} on this leaf") from None
+
+    def restore_slots(self, storage_name: str) -> None:
+        """Give back the agreement's full slot count."""
+        for system in self.router.systems():
+            if system.name == storage_name:
+                self._slots[storage_name].resize(system.profile.tasks_per_node)
+                return
+        raise ClusterStateError(f"no storage system {storage_name!r} on this leaf")
+
+    def slot_capacity(self, storage_name: str) -> int:
+        return self._slots[storage_name].capacity
+
+    # -- degradation (stragglers) ------------------------------------------
+
+    def slow_down(self, factor: float) -> None:
+        """Degrade this node's devices by ``factor`` (a straggler).
+
+        §V-B: consolidated containers suffer interference — "this affects
+        system throughput and latency".  A degraded leaf keeps serving,
+        just slowly, which is exactly the case backup tasks exist for.
+        """
+        if factor <= 0:
+            raise ClusterStateError("slow-down factor must be positive")
+        self.disk.bandwidth_bps /= factor
+        self.ssd.bandwidth_bps /= factor
+        self.cpu.ops_per_sec /= factor
+
+    def restore_speed(self, factor: float) -> None:
+        """Undo a prior :meth:`slow_down` with the same factor."""
+        self.disk.bandwidth_bps *= factor
+        self.ssd.bandwidth_bps *= factor
+        self.cpu.ops_per_sec *= factor
+
+    # -- liveness ---------------------------------------------------------
+
+    def crash(self) -> None:
+        """Simulate process death: heartbeats stop, in-flight tasks fail."""
+        self.alive = False
+
+    def recover(self) -> None:
+        self.alive = True
+
+    def _heartbeat_loop(self) -> Generator[Event, None, None]:
+        master_addr = NodeAddress(0, 0, 0)
+        while True:
+            yield self.sim.timeout(HEARTBEAT_PERIOD_S)
+            if not self.alive:
+                continue
+            load = WorkerLoad(
+                running_tasks=self.running_tasks,
+                queued_tasks=self.queued_tasks,
+                disk_queue_s=self.disk.queue_delay(),
+                cpu_queue_s=self.cpu.queue_delay(),
+            )
+            yield send(
+                self.sim, self.net, self.address, master_addr, HEARTBEAT_BYTES, TrafficClass.CONTROL
+            )
+            self.cluster_manager.heartbeat(self.worker_id, load)
+
+    # -- B+ tree baseline ---------------------------------------------------
+
+    def _btree_provider(self, block: Block):
+        def provider(block_id: str, column: str) -> Optional[BPlusTree]:
+            key = (block_id, column)
+            tree = self._btrees.get(key)
+            if tree is None:
+                if column not in block.chunks:
+                    return None
+                # B-trees are prebuilt ahead of queries in the paper's
+                # comparison; build lazily here but off the query clock.
+                tree = BPlusTree(block.column(column))
+                self._btrees[key] = tree
+                self.btree_builds += 1
+            return tree
+
+        return provider
+
+    # -- task execution ------------------------------------------------------
+
+    def run_task(
+        self,
+        task: ScanTask,
+        plan: PhysicalPlan,
+        broadcast_frames: Dict[str, Frame],
+    ) -> Generator[Event, None, TaskResult]:
+        """Generator process executing one scan task on this leaf."""
+        if not self.alive:
+            raise ClusterStateError(f"{self.worker_id} is down")
+        system, inner = self.router.resolve(task.block.path)
+        slot = self._slots[system.name]
+        self.queued_tasks += 1
+        yield slot.request()
+        self.queued_tasks -= 1
+        self.running_tasks += 1
+        try:
+            payload = system.read(inner)
+            block = Block.from_bytes(payload)
+            result = execute_scan_task(
+                task,
+                plan,
+                block,
+                broadcast_frames,
+                index_manager=self.index_manager,
+                btree_provider=self._btree_provider(block) if self.config.enable_btree else None,
+                now=self.sim.now,
+            )
+            report = result.report
+
+            if report.io_bytes > 0:
+                yield from self._charge_io(task, system, inner, payload, report)
+            if report.modeled_cpu_ops > 0:
+                yield self.cpu.compute(report.modeled_cpu_ops)
+            if not self.alive:
+                raise ClusterStateError(f"{self.worker_id} died mid-task")
+            self.tasks_completed += 1
+            return result
+        finally:
+            self.running_tasks -= 1
+            slot.release()
+
+    def _charge_io(
+        self, task: ScanTask, system, inner: str, payload: bytes, report
+    ) -> Generator[Event, None, None]:
+        """Charge the simulated time for this task's data access."""
+        nbytes = int(report.modeled_io_bytes)
+        profile = system.profile
+        if self.ssd_cache is not None:
+            cached = self.ssd_cache.get(task.block.path)
+            if cached is not None:
+                yield self.ssd.read(nbytes, seeks=report.io_seeks)
+                return
+        replicas = system.locations(inner)
+        if not replicas:
+            raise ExecutionError(f"no live replica for {task.block.path}")
+        if self.address in replicas:
+            if profile.first_byte_latency_s:
+                yield self.sim.timeout(profile.first_byte_latency_s)
+            yield self.disk.read(
+                int(nbytes / profile.bandwidth_factor), seeks=report.io_seeks
+            )
+        else:
+            # Remote read: source replica's storage latency + network path.
+            source = min(replicas, key=lambda r: self.net.distance(r, self.address))
+            if profile.first_byte_latency_s:
+                yield self.sim.timeout(profile.first_byte_latency_s)
+            yield self.net.transfer(source, self.address, nbytes, TrafficClass.READ)
+        if self.ssd_cache is not None:
+            self.ssd_cache.put(task.block.path, payload)
+
+    # -- introspection --------------------------------------------------------
+
+    def load_snapshot(self) -> WorkerLoad:
+        return WorkerLoad(
+            running_tasks=self.running_tasks,
+            queued_tasks=self.queued_tasks,
+            disk_queue_s=self.disk.queue_delay(),
+            cpu_queue_s=self.cpu.queue_delay(),
+        )
+
+
+class StemServer:
+    """Intermediate aggregator in the server tree."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        worker_id: str,
+        address: NodeAddress,
+        net: NetworkTopology,
+        cluster_manager: ClusterManager,
+    ):
+        self.sim = sim
+        self.worker_id = worker_id
+        self.address = address
+        self.net = net
+        self.alive = True
+        self.cpu = Cpu(sim, name=f"{worker_id}.cpu")
+        self.results_merged = 0
+        cluster_manager.register(worker_id, address, is_stem=True)
+        sim.process(self._heartbeat_loop(cluster_manager), name=f"{worker_id}.heartbeat")
+
+    def crash(self) -> None:
+        self.alive = False
+
+    def recover(self) -> None:
+        self.alive = True
+
+    def _heartbeat_loop(self, cluster_manager: ClusterManager) -> Generator[Event, None, None]:
+        master_addr = NodeAddress(0, 0, 0)
+        while True:
+            yield self.sim.timeout(HEARTBEAT_PERIOD_S)
+            if not self.alive:
+                continue
+            yield send(
+                self.sim, self.net, self.address, master_addr, HEARTBEAT_BYTES, TrafficClass.CONTROL
+            )
+            cluster_manager.heartbeat(self.worker_id, WorkerLoad())
+
+    def merge(self, result: TaskResult) -> Generator[Event, None, TaskResult]:
+        """Charge merge CPU for one incoming task result."""
+        if not self.alive:
+            raise ClusterStateError(f"{self.worker_id} is down")
+        if result.partial is not None:
+            ops = 8.0 * max(1, len(result.partial.groups))
+        elif result.frame is not None:
+            ops = 2.0 * max(1, result.frame.num_rows)
+        else:
+            ops = 1.0
+        yield self.cpu.compute(ops)
+        self.results_merged += 1
+        return result

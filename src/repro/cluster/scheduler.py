@@ -1,0 +1,161 @@
+"""Job scheduler: locality-aware task placement (§III-B).
+
+The placement policy is the paper's, in order:
+
+1. a live leaf co-located with the data, picking the least-loaded
+   replica holder;
+2. otherwise any live leaf, minimizing estimated network transfer cost
+   plus current load pressure.
+
+The scheduler also owns speculative *backup tasks* (§III-C): a task
+overdue by ``BACKUP_FACTOR`` × its cost estimate gets a second copy on a
+different node; the first completion wins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.cluster.membership import ClusterManager
+from repro.cluster.node import LeafServer
+from repro.errors import SchedulingError
+from repro.planner.cnf import ConjunctiveForm
+from repro.planner.cost import CostModel
+from repro.planner.physical import ScanTask
+from repro.sim.netmodel import NetworkTopology, NodeAddress
+from repro.storage.router import StorageRouter
+
+#: A task is overdue for a backup when it has run this multiple of its
+#: cost estimate without reporting completion.
+BACKUP_FACTOR = 3.0
+#: Floor on the overdue threshold, in simulated seconds.
+BACKUP_MIN_S = 2.0
+
+
+@dataclass
+class Placement:
+    """One scheduling decision."""
+
+    leaf: LeafServer
+    data_local: bool
+    estimate_s: float
+
+
+class JobScheduler:
+    """Places scan tasks on leaves and decides backup eligibility."""
+
+    def __init__(
+        self,
+        cluster_manager: ClusterManager,
+        net: NetworkTopology,
+        router: StorageRouter,
+        cost_model: CostModel = CostModel(),
+        locality_aware: bool = True,
+    ):
+        self.cluster_manager = cluster_manager
+        self.net = net
+        self.router = router
+        self.cost_model = cost_model
+        #: Ablation switch: False falls back to round-robin placement.
+        self.locality_aware = locality_aware
+        self._leaves: Dict[str, LeafServer] = {}
+        self._rr = 0
+        self.placements_local = 0
+        self.placements_remote = 0
+
+    def register_leaf(self, leaf: LeafServer) -> None:
+        self._leaves[leaf.worker_id] = leaf
+
+    def leaves(self) -> List[LeafServer]:
+        return list(self._leaves.values())
+
+    def leaf_at(self, address: NodeAddress) -> Optional[LeafServer]:
+        for leaf in self._leaves.values():
+            if leaf.address == address:
+                return leaf
+        return None
+
+    # -- placement -----------------------------------------------------------
+
+    def place(
+        self,
+        task: ScanTask,
+        cnf: ConjunctiveForm,
+        exclude: Sequence[str] = (),
+    ) -> Placement:
+        """Choose a leaf for ``task`` per the §III-B policy."""
+        alive = [
+            leaf
+            for leaf in self._leaves.values()
+            if leaf.alive
+            and self.cluster_manager.is_alive(leaf.worker_id)
+            and leaf.worker_id not in exclude
+        ]
+        if not alive:
+            raise SchedulingError(f"no live leaf available for task {task.task_id}")
+        if not self.locality_aware:
+            leaf = alive[self._rr % len(alive)]
+            self._rr += 1
+            local = self._is_local(leaf, task)
+            self._count(local)
+            return Placement(leaf, local, self._estimate(leaf, task, cnf, local))
+
+        system, inner = self.router.resolve(task.block.path)
+        replica_addrs = set(system.locations(inner))
+        local_candidates = [leaf for leaf in alive if leaf.address in replica_addrs]
+        if local_candidates:
+            leaf = min(local_candidates, key=lambda lf: lf.load_snapshot().pressure)
+            self._count(True)
+            return Placement(leaf, True, self._estimate(leaf, task, cnf, True))
+
+        # No replica holder available: minimize transfer + load.
+        def remote_cost(leaf: LeafServer) -> float:
+            nbytes = task.block.bytes_for(task.columns) * task.block.scale_factor
+            xfer = min(
+                self.net.transfer_time_estimate(addr, leaf.address, int(nbytes))
+                for addr in replica_addrs
+            ) if replica_addrs else 0.0
+            return xfer + 0.05 * leaf.load_snapshot().pressure
+
+        leaf = min(alive, key=remote_cost)
+        self._count(False)
+        return Placement(leaf, False, self._estimate(leaf, task, cnf, False))
+
+    def _is_local(self, leaf: LeafServer, task: ScanTask) -> bool:
+        system, inner = self.router.resolve(task.block.path)
+        return leaf.address in system.locations(inner)
+
+    def _count(self, local: bool) -> None:
+        if local:
+            self.placements_local += 1
+        else:
+            self.placements_remote += 1
+
+    def _estimate(
+        self, leaf: LeafServer, task: ScanTask, cnf: ConjunctiveForm, local: bool
+    ) -> float:
+        system, _ = self.router.resolve(task.block.path)
+        est = self.cost_model.task_seconds(
+            task,
+            cnf,
+            index_covered=False,
+            bandwidth_factor=system.profile.bandwidth_factor,
+            extra_latency_s=system.profile.first_byte_latency_s,
+        )
+        if not local:
+            system, inner = self.router.resolve(task.block.path)
+            replicas = system.locations(inner)
+            if replicas:
+                nbytes = task.block.bytes_for(task.columns) * task.block.scale_factor
+                est += min(
+                    self.net.transfer_time_estimate(addr, leaf.address, int(nbytes))
+                    for addr in replicas
+                )
+        return est
+
+    # -- backup tasks ----------------------------------------------------------
+
+    def backup_deadline(self, estimate_s: float) -> float:
+        """Seconds after dispatch when a backup copy should launch."""
+        return max(BACKUP_MIN_S, BACKUP_FACTOR * estimate_s)

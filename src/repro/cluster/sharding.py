@@ -1,0 +1,116 @@
+"""Horizontally sharded cluster management (§III-C, §VII).
+
+"With a large number of workers in the cluster, the network connection
+for worker heartbeat will reach the upper limit of a single machine.
+Our design of separated cluster management components can easily solve
+this issue by horizontal-scaling the cluster manager."  §VII recounts
+exactly this evolution at the five- and eight-thousand-worker marks.
+
+:class:`ShardedClusterManager` presents the single-manager interface
+while hashing workers across N independent shards, each with its own
+connection budget.  It is a drop-in replacement for
+:class:`~repro.cluster.membership.ClusterManager`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import List, Optional
+
+from repro.cluster.membership import ClusterManager, WorkerRecord
+from repro.cluster.messages import WorkerLoad
+from repro.errors import ClusterStateError
+from repro.sim.events import Simulator
+from repro.sim.netmodel import NodeAddress
+
+#: Heartbeat connections one manager machine sustains (scaled-down
+#: stand-in for the production "upper limit of a single machine").
+DEFAULT_SHARD_CAPACITY = 4096
+
+
+class ShardedClusterManager:
+    """N cluster-manager shards behind the ClusterManager interface."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        shards: int = 2,
+        shard_capacity: int = DEFAULT_SHARD_CAPACITY,
+    ):
+        if shards < 1:
+            raise ClusterStateError("need at least one cluster-manager shard")
+        self.sim = sim
+        self.shard_capacity = shard_capacity
+        self._shards: List[ClusterManager] = [ClusterManager(sim) for _ in range(shards)]
+        self._route: dict = {}
+
+    @property
+    def shard_count(self) -> int:
+        return len(self._shards)
+
+    def _shard_for(self, worker_id: str) -> ClusterManager:
+        shard = self._route.get(worker_id)
+        if shard is None:
+            digest = hashlib.blake2b(worker_id.encode(), digest_size=4).digest()
+            shard = self._shards[int.from_bytes(digest, "little") % len(self._shards)]
+            self._route[worker_id] = shard
+        return shard
+
+    def add_shard(self) -> None:
+        """Scale out.  Existing workers keep their shard (their heartbeat
+        connection is already established); new registrations spread over
+        the larger pool."""
+        self._shards.append(ClusterManager(self.sim))
+        # Future routing decisions hash over the new shard count; cached
+        # routes pin existing workers in place.
+
+    # -- ClusterManager interface ------------------------------------------
+
+    def register(self, worker_id: str, address: NodeAddress, is_stem: bool = False) -> None:
+        shard = self._shard_for(worker_id)
+        if shard.worker_count() >= self.shard_capacity:
+            spare = next(
+                (s for s in self._shards if s.worker_count() < self.shard_capacity), None
+            )
+            if spare is None:
+                raise ClusterStateError(
+                    "every cluster-manager shard is at its heartbeat "
+                    "connection limit; add_shard() first (§VII)"
+                )
+            self._route[worker_id] = spare
+            shard = spare
+        shard.register(worker_id, address, is_stem)
+
+    def heartbeat(self, worker_id: str, load: WorkerLoad) -> None:
+        self._shard_for(worker_id).heartbeat(worker_id, load)
+
+    def sweep(self) -> List[str]:
+        dead: List[str] = []
+        for shard in self._shards:
+            dead.extend(shard.sweep())
+        return dead
+
+    def is_alive(self, worker_id: str) -> bool:
+        return self._shard_for(worker_id).is_alive(worker_id)
+
+    def load_of(self, worker_id: str) -> WorkerLoad:
+        return self._shard_for(worker_id).load_of(worker_id)
+
+    def address_of(self, worker_id: str) -> NodeAddress:
+        return self._shard_for(worker_id).address_of(worker_id)
+
+    def live_workers(self, stems: Optional[bool] = None) -> List[WorkerRecord]:
+        out: List[WorkerRecord] = []
+        for shard in self._shards:
+            out.extend(shard.live_workers(stems))
+        return out
+
+    def worker_count(self) -> int:
+        return sum(s.worker_count() for s in self._shards)
+
+    @property
+    def heartbeats_received(self) -> int:
+        return sum(s.heartbeats_received for s in self._shards)
+
+    def shard_sizes(self) -> List[int]:
+        return [s.worker_count() for s in self._shards]

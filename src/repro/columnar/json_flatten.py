@@ -1,0 +1,102 @@
+"""Nested-record flattening.
+
+"Feisu also supports nested data format such as json, which will be
+flattened into columns when the data are processed" (§III-A).  This
+module turns lists of nested dicts into flat dotted-name columns and
+infers the resulting schema:
+
+* nested objects flatten with ``.`` separators (``{"a": {"b": 1}}`` →
+  column ``a.b``);
+* lists of scalars are joined into one string column (log payloads);
+* missing keys become type-appropriate defaults, since the engine's
+  columns are dense.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from repro.columnar.schema import DataType, Field, Schema, coerce_array
+from repro.errors import AnalysisError
+
+_DEFAULTS = {
+    DataType.INT64: 0,
+    DataType.FLOAT64: 0.0,
+    DataType.STRING: "",
+    DataType.BOOL: False,
+}
+
+
+def flatten_record(record: Mapping[str, Any], prefix: str = "") -> Dict[str, Any]:
+    """Flatten one nested record into a dotted-key dict of scalars."""
+    flat: Dict[str, Any] = {}
+    for key, value in record.items():
+        name = f"{prefix}{key}"
+        if isinstance(value, Mapping):
+            flat.update(flatten_record(value, prefix=f"{name}."))
+        elif isinstance(value, (list, tuple)):
+            flat[name] = ",".join(str(v) for v in value)
+        elif value is None:
+            flat[name] = None
+        elif isinstance(value, (bool, int, float, str)):
+            flat[name] = value
+        else:
+            raise AnalysisError(
+                f"unsupported json value of type {type(value).__name__} at {name!r}"
+            )
+    return flat
+
+
+def _infer_type(values: Iterable[Any]) -> DataType:
+    seen: set = set()
+    for v in values:
+        if v is None:
+            continue
+        seen.add(DataType.from_value(v))
+    if not seen:
+        return DataType.STRING
+    if seen == {DataType.INT64, DataType.FLOAT64}:
+        return DataType.FLOAT64
+    if len(seen) > 1:
+        return DataType.STRING  # mixed types degrade to text, like log fields
+    return seen.pop()
+
+
+def flatten_records(
+    records: Sequence[Mapping[str, Any]]
+) -> Tuple[Schema, Dict[str, np.ndarray]]:
+    """Flatten many records into (schema, column arrays).
+
+    Column order is first-appearance order, which keeps generated tables
+    stable for a fixed input ordering.
+    """
+    flats = [flatten_record(r) for r in records]
+    names: List[str] = []
+    seen = set()
+    for flat in flats:
+        for key in flat:
+            if key not in seen:
+                seen.add(key)
+                names.append(key)
+    schema_fields = []
+    columns: Dict[str, np.ndarray] = {}
+    for name in names:
+        raw = [flat.get(name) for flat in flats]
+        dtype = _infer_type(raw)
+        default = _DEFAULTS[dtype]
+        cleaned = [default if v is None else _coerce_scalar(v, dtype) for v in raw]
+        schema_fields.append(Field(name, dtype))
+        columns[name] = coerce_array(cleaned, dtype)
+    return Schema(schema_fields), columns
+
+
+def _coerce_scalar(value: Any, dtype: DataType) -> Any:
+    if dtype is DataType.STRING:
+        return str(value)
+    if dtype is DataType.FLOAT64:
+        return float(value)
+    if dtype is DataType.INT64:
+        return int(value)
+    return bool(value)

@@ -1,0 +1,12 @@
+"""Feisu's public API surface."""
+
+from repro.core.feisu import FeisuCluster, FeisuConfig
+from repro.storage.loader import load_block, read_table_frame, store_table
+
+__all__ = [
+    "FeisuCluster",
+    "FeisuConfig",
+    "load_block",
+    "read_table_frame",
+    "store_table",
+]

@@ -1,0 +1,407 @@
+"""Public API: a self-contained simulated Feisu deployment.
+
+:class:`FeisuCluster` wires the full stack of DESIGN.md's inventory —
+topology and network model, heterogeneous storage substrates behind the
+common storage layer, security, catalog, master/stem/leaf tree — into
+one object with a small surface:
+
+    >>> cluster = FeisuCluster(FeisuConfig(nodes_per_rack=4))
+    >>> cluster.load_table("T", schema, columns)          # doctest: +SKIP
+    >>> result = cluster.query("SELECT COUNT(*) FROM T")  # doctest: +SKIP
+
+Queries compute real answers; response times come from the simulated
+clock and are exposed in ``result.stats["response_time_s"]``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Mapping, Optional
+
+import numpy as np
+
+from repro.cluster.jobs import Job, JobOptions
+from repro.cluster.master import EntryGuard, Master
+from repro.cluster.membership import ClusterManager
+from repro.cluster.node import LeafConfig, LeafServer, StemServer
+from repro.cluster.scheduler import JobScheduler
+from repro.columnar.schema import Schema
+from repro.columnar.table import Catalog, Table
+from repro.storage.loader import store_table
+from repro.engine.executor import QueryResult
+from repro.errors import FeisuError, StorageError
+from repro.index.smartindex import IndexStats
+from repro.planner.cost import CostModel
+from repro.security.acl import AccessControl, QuotaPolicy
+from repro.security.auth import Credential, SSOAuthority
+from repro.sim.events import Event, Simulator
+from repro.sim.netmodel import NetworkTopology, NodeAddress, TopologySpec
+from repro.storage.router import StorageRouter
+from repro.storage.systems import DistributedFS, FatmanFS, KeyValueStore, LocalFS
+
+
+@dataclass
+class FeisuConfig:
+    """Shape and feature switches for a simulated deployment."""
+
+    datacenters: int = 1
+    racks_per_datacenter: int = 2
+    nodes_per_rack: int = 8
+    leaf: LeafConfig = field(default_factory=LeafConfig)
+    #: Production rows represented by each materialized row (DESIGN.md §1).
+    default_scale_factor: float = 1.0
+    seed: int = 17
+    #: Locality-aware scheduling (ablation switch).
+    locality_aware: bool = True
+    #: Reuse window for completed identical tasks (0 = running jobs only).
+    reuse_completed_window_s: float = 0.0
+
+    def topology(self) -> TopologySpec:
+        return TopologySpec(self.datacenters, self.racks_per_datacenter, self.nodes_per_rack)
+
+
+class FeisuCluster:
+    """A fully wired Feisu deployment on the simulated cluster."""
+
+    def __init__(self, config: Optional[FeisuConfig] = None):
+        self.config = config or FeisuConfig()
+        self.sim = Simulator()
+        spec = self.config.topology()
+        self.net = NetworkTopology(self.sim, spec)
+        self.nodes = spec.addresses()
+
+        # Storage substrates (§II): two HDFS systems — the experiments'
+        # storage A and B (Table I) — plus local FS, Fatman and KV store.
+        self.local_fs = LocalFS(self.nodes)
+        self.storage_a = DistributedFS(
+            self.nodes, name="storage-a", seed=self.config.seed, domain="hdfs-a"
+        )
+        self.storage_b = DistributedFS(
+            self.nodes, name="storage-b", seed=self.config.seed + 1, domain="hdfs-b"
+        )
+        self.storage_b.scheme = "hdfs2"
+        self.fatman = FatmanFS(self.nodes, seed=self.config.seed + 2)
+        self.kv = KeyValueStore(self.nodes)
+        self.authority = SSOAuthority()
+        self.router = StorageRouter(self.authority)
+        self.router.register(self.local_fs, default=True)
+        self.router.register(self.storage_a)
+        self.router.register(self.storage_b)
+        self.router.register(self.fatman)
+        self.router.register(self.kv)
+
+        self.catalog = Catalog()
+        self.acl = AccessControl()
+        self.quota = QuotaPolicy()
+        self.entry_guard = EntryGuard(self.authority, self.acl, self.quota)
+
+        self.cluster_manager = ClusterManager(self.sim)
+        self.scheduler = JobScheduler(
+            self.cluster_manager,
+            self.net,
+            self.router,
+            CostModel(),
+            locality_aware=self.config.locality_aware,
+        )
+        from repro.cluster.ledger import JobLedger
+
+        self.job_ledger = JobLedger(self.sim)
+        self.master = self._make_master()
+
+        self.leaves: List[LeafServer] = []
+        self.stems: List[StemServer] = []
+        for addr in self.nodes:
+            leaf = LeafServer(
+                self.sim,
+                worker_id=f"leaf-{addr}",
+                address=addr,
+                net=self.net,
+                router=self.router,
+                cluster_manager=self.cluster_manager,
+                config=replace(self.config.leaf),
+            )
+            self.leaves.append(leaf)
+            self.scheduler.register_leaf(leaf)
+            if addr.node == 0:
+                stem = StemServer(
+                    self.sim,
+                    worker_id=f"stem-{addr}",
+                    address=addr,
+                    net=self.net,
+                    cluster_manager=self.cluster_manager,
+                )
+                self.stems.append(stem)
+                self.master.register_stem(stem)
+            # Multi-datacenter deployments add a dc-level aggregation
+            # layer above the rack stems (deeper server tree, §III-B).
+            if (
+                self.config.datacenters > 1
+                and addr.rack == 0
+                and addr.node == min(1, self.config.nodes_per_rack - 1)
+            ):
+                dc_stem = StemServer(
+                    self.sim,
+                    worker_id=f"dcstem-{addr}",
+                    address=addr,
+                    net=self.net,
+                    cluster_manager=self.cluster_manager,
+                )
+                self.stems.append(dc_stem)
+                self.master.register_dc_stem(dc_stem)
+
+        # Cross-domain metadata sharing (§I): every datacenter keeps a
+        # directory replica of schemas and grants, synced periodically.
+        from repro.cluster.domains import CrossDomainDirectory
+
+        self.domain_directory = CrossDomainDirectory(
+            self.sim, self.net, datacenters=self.config.datacenters
+        )
+        self.domain_directory.start()
+
+        self._credentials: Dict[str, Credential] = {}
+        self._default_user = "analyst"
+        self.create_user(self._default_user, admin=True)
+
+    def _make_master(self) -> Master:
+        return Master(
+            self.sim,
+            self.net,
+            self.router,
+            self.catalog,
+            self.cluster_manager,
+            self.scheduler,
+            self.entry_guard,
+            address=NodeAddress(0, 0, 0),
+            reuse_completed_window_s=self.config.reuse_completed_window_s,
+            service_credential=self.authority.issue(
+                "feisu-master",
+                [s.domain for s in self.router.systems()],
+                ttl_s=10 * 365 * 86400.0,
+            ),
+            ledger=self.job_ledger,
+        )
+
+    def fail_master(self) -> int:
+        """Crash the primary master and promote its backup (§III-C).
+
+        In-flight jobs fail over to their clients (``job.error`` set;
+        resubmit to continue); the job ledger's shadow replays the
+        operations log, so history survives; a fresh master — already
+        holding the replicated state — takes over immediately.  Returns
+        the number of aborted jobs.
+        """
+        aborted = self.master.shutdown()
+        self.job_ledger.fail_primary()
+        old = self.master
+        self.master = self._make_master()
+        for stem in self.stems:
+            if stem.worker_id.startswith("dcstem-"):
+                self.master.register_dc_stem(stem)
+            else:
+                self.master.register_stem(stem)
+        # Historical job records carry over through the ledger; the old
+        # master's in-memory registry is gone with the process.
+        del old
+        return aborted
+
+    # -- users & security ----------------------------------------------------
+
+    def all_domains(self) -> List[str]:
+        return [s.domain for s in self.router.systems()]
+
+    def create_user(
+        self,
+        user: str,
+        domains: Optional[List[str]] = None,
+        admin: bool = False,
+        tables: Optional[List[str]] = None,
+    ) -> Credential:
+        """Issue an SSO credential; grants table rights per arguments."""
+        cred = self.authority.issue(
+            user, domains if domains is not None else self.all_domains(), now=self.sim.now
+        )
+        self._credentials[user] = cred
+        if admin:
+            self.acl.make_admin(user)
+        for table in tables or []:
+            self.acl.grant(user, table)
+            self.domain_directory.publish_grant(user, table)
+        return cred
+
+    def credential_of(self, user: str) -> Credential:
+        try:
+            return self._credentials[user]
+        except KeyError:
+            raise FeisuError(f"unknown user {user!r}; call create_user first") from None
+
+    # -- data loading -------------------------------------------------------------
+
+    def storage_by_name(self, name: str):
+        for system in self.router.systems():
+            if system.name == name or system.scheme == name:
+                return system
+        raise StorageError(f"no storage system named {name!r}")
+
+    def load_table(
+        self,
+        name: str,
+        schema: Schema,
+        columns: Mapping[str, np.ndarray],
+        storage: str = "storage-a",
+        block_rows: int = 8192,
+        scale_factor: Optional[float] = None,
+        node: Optional[NodeAddress] = None,
+        description: str = "",
+    ) -> Table:
+        """Convert columns into blocks on a storage system and register
+        the table (the §III light-weight ingestion process, in bulk)."""
+        system = self.storage_by_name(storage)
+        table = store_table(
+            name,
+            schema,
+            columns,
+            self.router,
+            system,
+            block_rows=block_rows,
+            scale_factor=(
+                scale_factor if scale_factor is not None else self.config.default_scale_factor
+            ),
+            node=node,
+            catalog=self.catalog,
+            description=description,
+        )
+        self.domain_directory.publish_table(name, schema.to_dict())
+        return table
+
+    def load_table_striped(
+        self,
+        name: str,
+        schema: Schema,
+        columns: Mapping[str, np.ndarray],
+        storages: List[str],
+        block_rows: int = 8192,
+        scale_factor: Optional[float] = None,
+        description: str = "",
+    ) -> Table:
+        """One logical table striped block-by-block across several
+        storage systems — the heterogeneous-integration case in one
+        table (e.g. ``storages=["storage-a", "fatman"]``)."""
+        from repro.storage.loader import store_table_striped
+
+        systems = [self.storage_by_name(s) for s in storages]
+        table = store_table_striped(
+            name,
+            schema,
+            columns,
+            self.router,
+            systems,
+            block_rows=block_rows,
+            scale_factor=(
+                scale_factor if scale_factor is not None else self.config.default_scale_factor
+            ),
+            catalog=self.catalog,
+            description=description,
+        )
+        self.domain_directory.publish_table(name, schema.to_dict())
+        return table
+
+    # -- querying ------------------------------------------------------------------
+
+    def submit(
+        self,
+        sql: str,
+        user: Optional[str] = None,
+        options: Optional[JobOptions] = None,
+    ) -> "tuple[Job, Event]":
+        """Asynchronous submission (drive ``sim`` yourself)."""
+        user = user or self._default_user
+        return self.master.submit(sql, user, self._credentials.get(user), options)
+
+    def query(
+        self,
+        sql: str,
+        user: Optional[str] = None,
+        options: Optional[JobOptions] = None,
+    ) -> QueryResult:
+        """Submit a query and run the simulation until it finishes.
+
+        Returns the result with ``stats["response_time_s"]`` set from the
+        simulated clock; raises the job's error on failure/timeout.
+        """
+        job = self.query_job(sql, user, options)
+        if job.error is not None:
+            raise job.error
+        assert job.result is not None
+        job.result.stats["response_time_s"] = job.stats.response_time_s
+        return job.result
+
+    def query_job(
+        self,
+        sql: str,
+        user: Optional[str] = None,
+        options: Optional[JobOptions] = None,
+    ) -> Job:
+        """Like :meth:`query` but returns the full job record."""
+        job, done = self.submit(sql, user, options)
+        self.sim.run_until_complete(done)
+        return job
+
+    # -- introspection -----------------------------------------------------------
+
+    def aggregate_index_stats(self) -> IndexStats:
+        """Sum of SmartIndex counters across every leaf."""
+        total = IndexStats()
+        for leaf in self.leaves:
+            mgr = leaf.index_manager
+            if mgr is None:
+                continue
+            total.hits += mgr.stats.hits
+            total.complement_hits += mgr.stats.complement_hits
+            total.misses += mgr.stats.misses
+            total.creations += mgr.stats.creations
+            total.evictions_lru += mgr.stats.evictions_lru
+            total.evictions_ttl += mgr.stats.evictions_ttl
+        return total
+
+    def index_memory_used(self) -> int:
+        return sum(
+            leaf.index_manager.used_bytes
+            for leaf in self.leaves
+            if leaf.index_manager is not None
+        )
+
+    def leaf_at(self, address: NodeAddress) -> LeafServer:
+        for leaf in self.leaves:
+            if leaf.address == address:
+                return leaf
+        raise FeisuError(f"no leaf at {address}")
+
+    def metrics(self):
+        """Point-in-time monitoring snapshot (§III-C's shadow-served
+        'monitoring running information')."""
+        from repro.cluster.metrics import collect_metrics
+
+        return collect_metrics(self)
+
+    def explain(self, sql: str) -> str:
+        """Render the physical plan the master would produce for ``sql``."""
+        from repro.planner.explain import explain as explain_plan
+        from repro.planner.physical import build_plan
+        from repro.sql.analyzer import analyze
+        from repro.sql.parser import parse
+
+        return explain_plan(build_plan(analyze(parse(sql), self.catalog)))
+
+    # -- §V-B resource consolidation --------------------------------------
+
+    def reclaim_business_resources(self, storage: str, slots: int = 1) -> None:
+        """Model high-priority online services claiming node resources:
+        every leaf's Feisu slot pool for ``storage`` shrinks to ``slots``."""
+        name = self.storage_by_name(storage).name
+        for leaf in self.leaves:
+            leaf.reclaim_slots(name, slots)
+
+    def release_business_resources(self, storage: str) -> None:
+        name = self.storage_by_name(storage).name
+        for leaf in self.leaves:
+            leaf.restore_slots(name)

@@ -1,0 +1,50 @@
+"""Vectorized execution engine: operators, aggregates, task executor."""
+
+from repro.engine.aggregates import (
+    AggregateState,
+    GroupedPartial,
+    group_rows,
+    make_state,
+    partial_aggregate,
+)
+from repro.engine.executor import (
+    QueryResult,
+    TaskExecutionReport,
+    TaskResult,
+    execute_scan_task,
+    finalize,
+)
+from repro.engine.serialize import deserialize_result, serialize_result
+from repro.engine.operators import (
+    apply_filter,
+    cross_join,
+    hash_join,
+    join,
+    limit_frame,
+    prefix_columns,
+    scan_block,
+    sort_frame,
+)
+
+__all__ = [
+    "AggregateState",
+    "GroupedPartial",
+    "QueryResult",
+    "TaskExecutionReport",
+    "TaskResult",
+    "apply_filter",
+    "cross_join",
+    "execute_scan_task",
+    "finalize",
+    "group_rows",
+    "hash_join",
+    "join",
+    "limit_frame",
+    "make_state",
+    "partial_aggregate",
+    "prefix_columns",
+    "scan_block",
+    "serialize_result",
+    "deserialize_result",
+    "sort_frame",
+]

@@ -1,0 +1,278 @@
+"""Mergeable aggregate states.
+
+Feisu aggregates bottom-up through its server tree: leaves produce
+partial states per group, stem servers merge them, and the master
+finalizes (§III-B).  Every state here therefore supports the classic
+``update / merge / final`` contract, and grouped partials know their own
+approximate wire size so the network model can charge realistic transfer
+costs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ExecutionError
+
+
+class AggregateState:
+    """One aggregate's running state for one group."""
+
+    func = "?"
+
+    def update(self, values: Optional[np.ndarray]) -> None:
+        raise NotImplementedError
+
+    def merge(self, other: "AggregateState") -> None:
+        raise NotImplementedError
+
+    def final(self):
+        raise NotImplementedError
+
+
+class CountState(AggregateState):
+    func = "COUNT"
+
+    __slots__ = ("n",)
+
+    def __init__(self) -> None:
+        self.n = 0
+
+    def update(self, values: Optional[np.ndarray]) -> None:
+        if values is None:
+            raise ExecutionError("COUNT update needs a row count or values")
+        self.n += len(values)
+
+    def update_count(self, n: int) -> None:
+        self.n += n
+
+    def merge(self, other: AggregateState) -> None:
+        self.n += other.n  # type: ignore[attr-defined]
+
+    def final(self) -> int:
+        return self.n
+
+
+class SumState(AggregateState):
+    func = "SUM"
+
+    __slots__ = ("total", "seen")
+
+    def __init__(self) -> None:
+        self.total = 0
+        self.seen = False
+
+    def update(self, values: Optional[np.ndarray]) -> None:
+        if values is None or len(values) == 0:
+            return
+        self.total = self.total + values.sum()
+        self.seen = True
+
+    def merge(self, other: AggregateState) -> None:
+        if other.seen:  # type: ignore[attr-defined]
+            self.total = self.total + other.total  # type: ignore[attr-defined]
+            self.seen = True
+
+    def final(self):
+        if not self.seen:
+            return None  # SQL SUM over zero rows is NULL
+        if isinstance(self.total, (np.integer, int)):
+            return int(self.total)
+        return float(self.total)
+
+
+class MinState(AggregateState):
+    func = "MIN"
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = None
+
+    def update(self, values: Optional[np.ndarray]) -> None:
+        if values is None or len(values) == 0:
+            return
+        lo = values.min()
+        if self.value is None or lo < self.value:
+            self.value = lo
+
+    def merge(self, other: AggregateState) -> None:
+        if other.value is not None:  # type: ignore[attr-defined]
+            if self.value is None or other.value < self.value:  # type: ignore[attr-defined]
+                self.value = other.value  # type: ignore[attr-defined]
+
+    def final(self):
+        return _to_python(self.value)
+
+
+class MaxState(AggregateState):
+    func = "MAX"
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = None
+
+    def update(self, values: Optional[np.ndarray]) -> None:
+        if values is None or len(values) == 0:
+            return
+        hi = values.max()
+        if self.value is None or hi > self.value:
+            self.value = hi
+
+    def merge(self, other: AggregateState) -> None:
+        if other.value is not None:  # type: ignore[attr-defined]
+            if self.value is None or other.value > self.value:  # type: ignore[attr-defined]
+                self.value = other.value  # type: ignore[attr-defined]
+
+    def final(self):
+        return _to_python(self.value)
+
+
+class AvgState(AggregateState):
+    func = "AVG"
+
+    __slots__ = ("total", "n")
+
+    def __init__(self) -> None:
+        self.total = 0.0
+        self.n = 0
+
+    def update(self, values: Optional[np.ndarray]) -> None:
+        if values is None or len(values) == 0:
+            return
+        self.total += float(values.sum())
+        self.n += len(values)
+
+    def merge(self, other: AggregateState) -> None:
+        self.total += other.total  # type: ignore[attr-defined]
+        self.n += other.n  # type: ignore[attr-defined]
+
+    def final(self) -> Optional[float]:
+        return self.total / self.n if self.n else None
+
+
+_STATE_FACTORY = {
+    "COUNT": CountState,
+    "SUM": SumState,
+    "MIN": MinState,
+    "MAX": MaxState,
+    "AVG": AvgState,
+}
+
+
+def make_state(func: str) -> AggregateState:
+    try:
+        return _STATE_FACTORY[func]()
+    except KeyError:
+        raise ExecutionError(f"unknown aggregate function {func!r}") from None
+
+
+def _to_python(value):
+    if value is None:
+        return None
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, np.bool_):
+        return bool(value)
+    return value
+
+
+def group_rows(key_columns: Sequence[np.ndarray], num_rows: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Assign each row a dense group id.
+
+    Returns ``(group_ids, representative_indices)`` where
+    ``representative_indices[g]`` is the first row of group ``g``.
+    With no key columns every row lands in group 0.
+    """
+    if not key_columns:
+        ids = np.zeros(num_rows, dtype=np.int64)
+        reps = np.zeros(1 if num_rows else 0, dtype=np.int64)
+        if num_rows == 0:
+            return ids, reps
+        return ids, np.array([0], dtype=np.int64)
+    combined = None
+    for col in key_columns:
+        uniques, codes = np.unique(col, return_inverse=True)
+        codes = codes.astype(np.int64)
+        if combined is None:
+            combined = codes
+        else:
+            combined = combined * np.int64(len(uniques)) + codes
+    _, reps, ids = np.unique(combined, return_index=True, return_inverse=True)
+    return ids.astype(np.int64), reps.astype(np.int64)
+
+
+@dataclass
+class GroupedPartial:
+    """Partial aggregation result travelling leaf → stem → master.
+
+    ``groups`` maps the tuple of group-key values to one state per
+    aggregate, in the plan's aggregate order.
+    """
+
+    num_keys: int
+    agg_funcs: List[str]
+    groups: Dict[Tuple, List[AggregateState]] = field(default_factory=dict)
+    #: Rows the producing task actually scanned (partial-result accounting).
+    rows_scanned: int = 0
+
+    def state_for(self, key: Tuple) -> List[AggregateState]:
+        states = self.groups.get(key)
+        if states is None:
+            states = [make_state(f) for f in self.agg_funcs]
+            self.groups[key] = states
+        return states
+
+    def merge(self, other: "GroupedPartial") -> None:
+        if other.num_keys != self.num_keys or other.agg_funcs != self.agg_funcs:
+            raise ExecutionError("cannot merge incompatible partials")
+        for key, states in other.groups.items():
+            mine = self.state_for(key)
+            for a, b in zip(mine, states):
+                a.merge(b)
+        self.rows_scanned += other.rows_scanned
+
+    def estimated_bytes(self) -> int:
+        """Wire-size estimate for the network cost model."""
+        per_group = 16 * self.num_keys + 24 * len(self.agg_funcs)
+        return 64 + per_group * len(self.groups)
+
+
+def partial_aggregate(
+    key_arrays: Sequence[np.ndarray],
+    agg_funcs: Sequence[str],
+    agg_arrays: Sequence[Optional[np.ndarray]],
+    num_rows: int,
+) -> GroupedPartial:
+    """Aggregate one frame into per-group partial states.
+
+    ``agg_arrays[i]`` is None for COUNT(*) (row counting needs no column).
+    """
+    partial = GroupedPartial(num_keys=len(key_arrays), agg_funcs=list(agg_funcs))
+    partial.rows_scanned = num_rows
+    if num_rows == 0:
+        if not key_arrays:
+            partial.state_for(())  # global aggregate over zero rows still yields a row
+        return partial
+    ids, reps = group_rows(key_arrays, num_rows)
+    order = np.argsort(ids, kind="stable")
+    sorted_ids = ids[order]
+    boundaries = np.flatnonzero(np.concatenate(([True], sorted_ids[1:] != sorted_ids[:-1])))
+    slices = np.append(boundaries, len(sorted_ids))
+    for gi in range(len(boundaries)):
+        rows = order[slices[gi] : slices[gi + 1]]
+        rep = rows[0]
+        key = tuple(_to_python(col[rep]) for col in key_arrays)
+        states = partial.state_for(key)
+        for state, arr in zip(states, agg_arrays):
+            if arr is None:
+                state.update_count(len(rows))  # type: ignore[attr-defined]
+            else:
+                state.update(arr[rows])
+    return partial

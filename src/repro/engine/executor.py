@@ -1,0 +1,572 @@
+"""Sub-plan execution (leaf side) and result finalization (master side).
+
+Leaf path, per block (§IV-C-3 / Fig 7):
+
+1. probe the SmartIndex cache with the scan CNF — fully covered filters
+   skip both the block scan and predicate evaluation;
+2. otherwise decode the needed column chunks, evaluate only the *missing*
+   clauses (optionally through the B+ tree baseline), and insert fresh
+   SmartIndex entries for every atom evaluated;
+3. join against broadcast dimension tables, apply the post-join residual
+   filter;
+4. produce either per-group partial aggregates or a projected row frame.
+
+Master path: merge partials bottom-up, materialize aggregate columns,
+apply HAVING / ORDER BY / LIMIT, and project the output schema.
+
+Every task returns a :class:`TaskExecutionReport` with the I/O bytes and
+CPU ops it *would have* cost on the paper's hardware — the simulated
+cluster charges these against its device models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.columnar.block import Block
+from repro.columnar.schema import DataType, coerce_array
+from repro.engine.aggregates import GroupedPartial, partial_aggregate
+from repro.engine.operators import (
+    apply_filter,
+    join,
+    limit_frame,
+    prefix_columns,
+    scan_block,
+    sort_frame,
+)
+from repro.errors import ExecutionError
+from repro.index.btree import BPlusTree
+from repro.index.smartindex import SmartIndexManager
+from repro.planner.cnf import Clause, ConjunctiveForm
+from repro.planner.cost import (
+    OPS_PER_COMPARISON,
+    OPS_PER_CONTAINS,
+    OPS_PER_DECODE,
+    OPS_PER_INDEX_ROW,
+)
+from repro.planner.expressions import Frame, evaluate, make_qualified_resolver
+from repro.planner.physical import PhysicalPlan, ScanTask
+from repro.sql.analyzer import AnalyzedQuery
+from repro.sql.ast import (
+    AggregateCall,
+    BinaryOp,
+    BinaryOperator,
+    Column,
+    Expr,
+    FunctionCall,
+    Negate,
+    NotOp,
+    OrderItem,
+    Star,
+)
+
+#: Provides a prebuilt B+ tree for (block_id, column), or None.
+BTreeProvider = Callable[[str, str], Optional[BPlusTree]]
+
+
+@dataclass
+class TaskExecutionReport:
+    """Cost accounting for one executed scan task."""
+
+    task_id: str
+    rows_in_block: int = 0
+    rows_matched: int = 0
+    io_bytes: int = 0
+    io_seeks: int = 0
+    cpu_ops: float = 0.0
+    index_full_cover: bool = False
+    index_clause_hits: int = 0
+    index_clause_misses: int = 0
+    btree_clauses: int = 0
+    scale_factor: float = 1.0
+
+    @property
+    def modeled_io_bytes(self) -> float:
+        return self.io_bytes * self.scale_factor
+
+    @property
+    def modeled_cpu_ops(self) -> float:
+        return self.cpu_ops * self.scale_factor
+
+
+@dataclass
+class TaskResult:
+    """What a leaf returns upstream for one task."""
+
+    task_id: str
+    partial: Optional[GroupedPartial] = None
+    frame: Optional[Frame] = None
+    report: TaskExecutionReport = None  # type: ignore[assignment]
+
+    def payload_bytes(self) -> int:
+        """Wire-size estimate of this result for the network model."""
+        if self.partial is not None:
+            return self.partial.estimated_bytes()
+        if self.frame is not None:
+            return 64 + sum(
+                v.nbytes if v.dtype != object else sum(len(str(x)) + 8 for x in v)
+                for v in self.frame.columns.values()
+            )
+        return 64
+
+    def modeled_payload_bytes(self) -> float:
+        """Production-scale wire size.
+
+        Row frames scale with the data (each materialized row models
+        ``scale_factor`` production rows); aggregate partials don't —
+        their size tracks group cardinality, which is scale-invariant.
+        """
+        if self.frame is not None and self.report is not None:
+            return self.payload_bytes() * self.report.scale_factor
+        return float(self.payload_bytes())
+
+
+def _resolver_for(analyzed: AnalyzedQuery, frame: Frame, qualified: bool):
+    """Resolve AST columns against a task frame.
+
+    Leaves produce bare column names for single-table plans and
+    ``binding.column`` names once joins are involved.
+    """
+
+    def resolve(col: Column) -> str:
+        res = analyzed.resolutions.get((col.table, col.name))
+        if res is not None:
+            key = f"{res.binding}.{res.field.name}" if qualified else res.field.name
+            if key in frame.columns:
+                return key
+        return make_qualified_resolver(frame)(col)
+
+    return resolve
+
+
+def execute_scan_task(
+    task: ScanTask,
+    plan: PhysicalPlan,
+    block: Block,
+    broadcast_frames: Optional[Dict[str, Frame]] = None,
+    index_manager: Optional[SmartIndexManager] = None,
+    btree_provider: Optional[BTreeProvider] = None,
+    now: float = 0.0,
+) -> TaskResult:
+    """Run one scan task against its (already fetched) block."""
+    report = TaskExecutionReport(
+        task_id=task.task_id,
+        rows_in_block=block.num_rows,
+        scale_factor=block.scale_factor,
+    )
+    cnf = plan.scan_cnf
+    analyzed = plan.analyzed
+
+    mask, missing = _filter_mask(task, cnf, block, index_manager, btree_provider, now, report)
+
+    payload_columns = _payload_columns(task, plan)
+    if report.index_full_cover and mask is not None and not mask.any():
+        # Fully index-covered and empty: nothing to read at all.
+        frame = Frame({c: np.empty(0, dtype=_np_dtype(analyzed, task, c)) for c in payload_columns}, 0)
+    else:
+        read_columns = payload_columns if report.index_full_cover else list(task.columns)
+        if read_columns:
+            report.io_bytes += block.column_bytes(read_columns)
+            report.io_seeks += 1
+            report.cpu_ops += OPS_PER_DECODE * block.num_rows * len(read_columns)
+        frame = scan_block(block, read_columns) if read_columns else Frame({}, block.num_rows)
+        if missing:
+            mask = _evaluate_missing(missing, frame, mask, index_manager, task, now, report)
+        if mask is not None:
+            frame = apply_filter(frame, mask)
+            frame = frame.select(payload_columns)
+        else:
+            frame = frame.select(payload_columns)
+    report.rows_matched = frame.num_rows
+
+    qualified = plan.has_joins
+    if qualified:
+        frame = prefix_columns(frame, task.binding)
+        frame = _apply_broadcast_joins(frame, plan, broadcast_frames or {}, report)
+    if plan.post_filter is not None and frame.num_rows > 0:
+        resolve = _resolver_for(analyzed, frame, qualified)
+        post_mask = evaluate(plan.post_filter, frame, resolve).astype(np.bool_)
+        report.cpu_ops += 2.0 * frame.num_rows
+        frame = apply_filter(frame, post_mask)
+
+    if plan.is_aggregate:
+        partial = _partial_aggregate(frame, plan, qualified, report)
+        return TaskResult(task.task_id, partial=partial, report=report)
+
+    output_frame = _project_task_frame(frame, plan, qualified)
+    if analyzed.query.limit is not None:
+        output_frame = _push_down_limit(output_frame, plan, qualified)
+    return TaskResult(task.task_id, frame=output_frame, report=report)
+
+
+def _np_dtype(analyzed: AnalyzedQuery, task: ScanTask, column: str):
+    table = analyzed.tables[task.binding]
+    return table.schema.field(column).dtype.numpy_dtype
+
+
+def _payload_columns(task: ScanTask, plan: PhysicalPlan) -> List[str]:
+    """Columns needed beyond predicate evaluation (outputs, joins,
+    grouping, residual filters) — precomputed by the planner."""
+    return list(plan.payload_columns)
+
+
+def _filter_mask(
+    task: ScanTask,
+    cnf: ConjunctiveForm,
+    block: Block,
+    index_manager: Optional[SmartIndexManager],
+    btree_provider: Optional[BTreeProvider],
+    now: float,
+    report: TaskExecutionReport,
+) -> Tuple[Optional[np.ndarray], List[Clause]]:
+    """Resolve as much of the scan filter as possible without scanning."""
+    if not cnf.clauses:
+        return None, []
+    mask_bv = None
+    missing = list(cnf.clauses)
+    if index_manager is not None:
+        mask_bv, missing = index_manager.cover(block.block_id, cnf, now)
+        covered = len(cnf.clauses) - len(missing)
+        report.index_clause_hits += covered
+        report.index_clause_misses += len(missing)
+        report.cpu_ops += OPS_PER_INDEX_ROW * block.num_rows * max(covered, 0)
+        if not missing:
+            report.index_full_cover = True
+            full = mask_bv.to_bool_array() if mask_bv is not None else None
+            return full, []
+    # Try the B+ tree baseline for still-missing single-atom clauses.
+    if btree_provider is not None:
+        still_missing: List[Clause] = []
+        for clause in missing:
+            resolved = _btree_clause(clause, block, btree_provider, report)
+            if resolved is None:
+                still_missing.append(clause)
+            else:
+                bv_arr = resolved
+                if mask_bv is None:
+                    combined = bv_arr
+                else:
+                    combined = mask_bv.to_bool_array() & bv_arr
+                from repro.index.bitmap import BitVector
+
+                mask_bv = BitVector.from_bool_array(combined)
+        missing = still_missing
+        if not missing and mask_bv is not None:
+            # All clauses answered by B+ trees: same scan-skipping benefit.
+            report.index_full_cover = True
+            return mask_bv.to_bool_array(), []
+    return (mask_bv.to_bool_array() if mask_bv is not None else None), missing
+
+
+def _btree_clause(
+    clause: Clause,
+    block: Block,
+    btree_provider: BTreeProvider,
+    report: TaskExecutionReport,
+) -> Optional[np.ndarray]:
+    if not clause.is_indexable:
+        return None
+    masks = []
+    for atom in clause.atoms:
+        tree = btree_provider(block.block_id, atom.column)
+        if tree is None or not tree.supports(atom):
+            return None
+        mask = tree.evaluate(atom)
+        # Charge tree traversal + per-match materialization.
+        report.cpu_ops += 64.0 * tree.height + 2.0 * int(mask.sum())
+        masks.append(mask)
+    report.btree_clauses += 1
+    out = masks[0]
+    for m in masks[1:]:
+        out = out | m
+    return out
+
+
+def _evaluate_missing(
+    missing: Sequence[Clause],
+    frame: Frame,
+    mask: Optional[np.ndarray],
+    index_manager: Optional[SmartIndexManager],
+    task: ScanTask,
+    now: float,
+    report: TaskExecutionReport,
+) -> np.ndarray:
+    """Evaluate the uncovered clauses on real data; feed the index."""
+    combined = mask
+    for clause in missing:
+        clause_mask: Optional[np.ndarray] = None
+        for atom in clause.atoms:
+            values = frame.column(atom.column)
+            atom_mask = atom.evaluate(values)
+            ops = OPS_PER_CONTAINS if atom.op is BinaryOperator.CONTAINS else OPS_PER_COMPARISON
+            report.cpu_ops += ops * len(values)
+            if index_manager is not None:
+                index_manager.insert(task.block.block_id, atom, atom_mask, now)
+            clause_mask = atom_mask if clause_mask is None else (clause_mask | atom_mask)
+        for residual in clause.residuals:
+            res_mask = evaluate(residual, frame).astype(np.bool_)
+            report.cpu_ops += 2.0 * frame.num_rows
+            clause_mask = res_mask if clause_mask is None else (clause_mask | res_mask)
+        if clause_mask is None:
+            raise ExecutionError("clause with neither atoms nor residuals")
+        combined = clause_mask if combined is None else (combined & clause_mask)
+    assert combined is not None
+    return combined
+
+
+def _apply_broadcast_joins(
+    frame: Frame,
+    plan: PhysicalPlan,
+    broadcast_frames: Dict[str, Frame],
+    report: TaskExecutionReport,
+) -> Frame:
+    analyzed = plan.analyzed
+    for bc in plan.broadcasts:
+        try:
+            dim = broadcast_frames[bc.binding]
+        except KeyError:
+            raise ExecutionError(f"missing broadcast table {bc.binding!r}") from None
+        dim_q = prefix_columns(dim, bc.binding)
+        resolve = make_qualified_resolver(frame)
+        before = frame.num_rows
+        frame = join(
+            frame,
+            dim_q,
+            bc.kind,
+            bc.condition,
+            left_binding=plan.analyzed.base_binding,
+            right_binding=bc.binding,
+            resolve=make_qualified_resolver(
+                Frame({**frame.columns, **dim_q.columns}, 0)
+            ),
+        )
+        report.cpu_ops += 3.0 * (before + dim.num_rows)
+    return frame
+
+
+def _rewrite(expr: Expr, mapping: Dict[Expr, Column]) -> Expr:
+    """Replace aggregate calls / group keys with materialized columns."""
+    if expr in mapping:
+        return mapping[expr]
+    if isinstance(expr, BinaryOp):
+        return BinaryOp(expr.op, _rewrite(expr.left, mapping), _rewrite(expr.right, mapping))
+    if isinstance(expr, NotOp):
+        return NotOp(_rewrite(expr.operand, mapping))
+    if isinstance(expr, Negate):
+        return Negate(_rewrite(expr.operand, mapping))
+    if isinstance(expr, FunctionCall):
+        return FunctionCall(expr.name, tuple(_rewrite(a, mapping) for a in expr.args))
+    if isinstance(expr, AggregateCall):
+        raise ExecutionError(f"aggregate {expr} was not materialized")
+    return expr
+
+
+def _partial_aggregate(
+    frame: Frame, plan: PhysicalPlan, qualified: bool, report: TaskExecutionReport
+) -> GroupedPartial:
+    analyzed = plan.analyzed
+    resolve = _resolver_for(analyzed, frame, qualified)
+    key_arrays = [evaluate(k, frame, resolve) for k in analyzed.group_keys]
+    agg_arrays: List[Optional[np.ndarray]] = []
+    for agg in analyzed.aggregates:
+        if isinstance(agg.argument, Star):
+            agg_arrays.append(None)
+        else:
+            agg_arrays.append(evaluate(agg.argument, frame, resolve))
+    report.cpu_ops += 2.0 * frame.num_rows * max(1, len(analyzed.aggregates))
+    return partial_aggregate(
+        key_arrays, [a.func for a in analyzed.aggregates], agg_arrays, frame.num_rows
+    )
+
+
+def _push_down_limit(frame: Frame, plan: PhysicalPlan, qualified: bool) -> Frame:
+    """Top-k pushdown: a leaf never ships more rows than the query's
+    LIMIT can use.
+
+    Without ORDER BY, any ``limit`` rows do.  With ORDER BY, the leaf
+    pre-sorts *when every sort key is a plain column it holds* — the
+    master's final sort then re-establishes the global order over at most
+    ``tasks x limit`` rows instead of every matching row.  This is the
+    kind of interactive-response measure §III-C calls for.
+    """
+    analyzed = plan.analyzed
+    limit = analyzed.query.limit
+    assert limit is not None
+    if frame.num_rows <= limit:
+        return frame
+    if not analyzed.query.order_by:
+        return limit_frame(frame, limit)
+    resolve = _resolver_for(analyzed, frame, qualified)
+    keys = []
+    for item in analyzed.query.order_by:
+        expr = item.expr
+        if not isinstance(expr, Column):
+            return frame  # expression / alias keys: leave global handling
+        try:
+            keys.append((frame.column(resolve(expr)), item.ascending))
+        except ExecutionError:
+            return frame
+    return limit_frame(sort_frame(frame, keys), limit)
+
+
+def _project_task_frame(frame: Frame, plan: PhysicalPlan, qualified: bool) -> Frame:
+    """Keep only the columns later stages reference, in canonical names."""
+    analyzed = plan.analyzed
+    needed: Dict[str, np.ndarray] = {}
+    for binding in analyzed.tables:
+        for col in analyzed.columns_of(binding):
+            key = f"{binding}.{col}" if qualified else col
+            if key in frame.columns:
+                needed[key] = frame.columns[key]
+    return Frame(needed, frame.num_rows)
+
+
+# -- master-side finalization ---------------------------------------------
+
+
+@dataclass
+class QueryResult:
+    """The final answer handed back to the client."""
+
+    columns: List[str]
+    frame: Frame
+    #: Fraction of planned tasks whose results arrived (1.0 normally;
+    #: lower when a time-limited query returned early, §III-C).
+    processed_ratio: float = 1.0
+    stats: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def num_rows(self) -> int:
+        return self.frame.num_rows
+
+    def rows(self) -> List[Tuple]:
+        cols = [self.frame.columns[c] for c in self.columns]
+        return [tuple(_python_scalar(c[i]) for c in cols) for i in range(self.frame.num_rows)]
+
+    def column(self, name: str) -> np.ndarray:
+        return self.frame.column(name)
+
+
+def _python_scalar(v):
+    if isinstance(v, np.integer):
+        return int(v)
+    if isinstance(v, np.floating):
+        return float(v)
+    if isinstance(v, np.bool_):
+        return bool(v)
+    return v
+
+
+def finalize(
+    plan: PhysicalPlan,
+    results: Sequence[TaskResult],
+    processed_ratio: float = 1.0,
+) -> QueryResult:
+    """Combine task results into the client-visible answer."""
+    analyzed = plan.analyzed
+    if plan.is_aggregate:
+        frame = _materialize_aggregates(plan, results)
+        mapping = _aggregate_mapping(analyzed)
+        qualified = False
+        resolve = make_qualified_resolver(frame)
+    else:
+        frames = [r.frame for r in results if r.frame is not None]
+        frame = Frame.concat(frames) if frames else _empty_output(plan)
+        mapping = {}
+        qualified = plan.has_joins
+        resolve = _resolver_for(analyzed, frame, qualified)
+
+    if plan.is_aggregate and analyzed.query.having is not None:
+        having = _rewrite(analyzed.query.having, mapping)
+        mask = evaluate(having, frame, resolve).astype(np.bool_)
+        frame = apply_filter(frame, mask)
+
+    if analyzed.query.order_by:
+        keys = []
+        for item in analyzed.query.order_by:
+            expr = _order_target(item, analyzed, mapping)
+            keys.append((evaluate(expr, frame, resolve), item.ascending))
+        frame = sort_frame(frame, keys)
+
+    frame = limit_frame(frame, analyzed.query.limit)
+
+    out_columns: Dict[str, np.ndarray] = {}
+    for name, expr in zip(analyzed.output_names, analyzed.output_exprs):
+        rewritten = _rewrite(expr, mapping) if mapping else expr
+        out_columns[name] = evaluate(rewritten, frame, resolve)
+    output = Frame(out_columns, frame.num_rows)
+    return QueryResult(
+        columns=list(analyzed.output_names),
+        frame=output,
+        processed_ratio=processed_ratio,
+    )
+
+
+def _order_target(item: OrderItem, analyzed: AnalyzedQuery, mapping: Dict[Expr, Column]) -> Expr:
+    expr = item.expr
+    if isinstance(expr, Column) and expr.table is None:
+        if (None, expr.name) not in analyzed.resolutions:
+            for name, out in zip(analyzed.output_names, analyzed.output_exprs):
+                if name == expr.name:
+                    expr = out
+                    break
+    return _rewrite(expr, mapping) if mapping else expr
+
+
+def _aggregate_mapping(analyzed: AnalyzedQuery) -> Dict[Expr, Column]:
+    mapping: Dict[Expr, Column] = {}
+    for i, key in enumerate(analyzed.group_keys):
+        mapping[key] = Column(f"__key{i}")
+    for i, agg in enumerate(analyzed.aggregates):
+        mapping[agg] = Column(f"__agg{i}")
+    return mapping
+
+
+def _materialize_aggregates(plan: PhysicalPlan, results: Sequence[TaskResult]) -> Frame:
+    analyzed = plan.analyzed
+    merged: Optional[GroupedPartial] = None
+    for r in results:
+        if r.partial is None:
+            continue
+        if merged is None:
+            merged = GroupedPartial(r.partial.num_keys, list(r.partial.agg_funcs))
+        merged.merge(r.partial)
+    if merged is None:
+        merged = GroupedPartial(len(analyzed.group_keys), [a.func for a in analyzed.aggregates])
+        if not analyzed.group_keys:
+            merged.state_for(())
+    keys = sorted(merged.groups.keys(), key=lambda k: tuple(str(v) for v in k))
+    columns: Dict[str, np.ndarray] = {}
+    for i, key_expr in enumerate(analyzed.group_keys):
+        dtype = analyzed.type_of(key_expr)
+        columns[f"__key{i}"] = coerce_array([k[i] for k in keys], dtype)
+    for j, agg in enumerate(analyzed.aggregates):
+        dtype = analyzed.type_of(agg)
+        values = [_final_or_default(merged.groups[k][j], dtype) for k in keys]
+        columns[f"__agg{j}"] = coerce_array(values, dtype)
+    return Frame(columns, len(keys))
+
+
+def _final_or_default(state, dtype: DataType):
+    value = state.final()
+    if value is not None:
+        return value
+    if dtype is DataType.STRING:
+        return ""
+    if dtype is DataType.FLOAT64:
+        return float("nan")
+    return 0
+
+
+def _empty_output(plan: PhysicalPlan) -> Frame:
+    analyzed = plan.analyzed
+    qualified = plan.has_joins
+    columns: Dict[str, np.ndarray] = {}
+    for binding, table in analyzed.tables.items():
+        for col in analyzed.columns_of(binding):
+            key = f"{binding}.{col}" if qualified else col
+            columns[key] = np.empty(0, dtype=table.schema.field(col).dtype.numpy_dtype)
+    return Frame(columns, 0)

@@ -1,0 +1,245 @@
+"""Relational operators over :class:`~repro.planner.expressions.Frame`.
+
+These are the building blocks leaf servers, stem servers and the master
+compose: scan (block decode + projection), filter, hash join, sort and
+limit.  Grouped aggregation lives in :mod:`repro.engine.aggregates`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.columnar.block import Block
+from repro.errors import ExecutionError
+from repro.planner.expressions import Frame, Resolver, evaluate
+from repro.sql.ast import BinaryOp, BinaryOperator, Column, Expr, JoinKind, walk
+
+
+def scan_block(block: Block, columns: Sequence[str]) -> Frame:
+    """Decode the requested columns of a block into a frame."""
+    return Frame(block.columns(list(columns)), block.num_rows)
+
+
+def apply_filter(frame: Frame, mask: np.ndarray) -> Frame:
+    if len(mask) != frame.num_rows:
+        raise ExecutionError(
+            f"mask length {len(mask)} != frame rows {frame.num_rows}"
+        )
+    return frame.take(mask.astype(np.bool_))
+
+
+def prefix_columns(frame: Frame, binding: str) -> Frame:
+    """Qualify all column names with a table binding (pre-join)."""
+    return Frame({f"{binding}.{n}": v for n, v in frame.columns.items()}, frame.num_rows)
+
+
+def equi_join_keys(
+    condition: Expr, left_binding: str, right_binding: str
+) -> Optional[List[Tuple[Column, Column]]]:
+    """Extract equi-join key pairs from an ON condition.
+
+    Returns pairs ``(left_col, right_col)`` when the condition is a
+    conjunction of cross-table equalities; None otherwise (the join then
+    degrades to filtered cross product).
+    """
+    pairs: List[Tuple[Column, Column]] = []
+    stack = [condition]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, BinaryOp) and node.op is BinaryOperator.AND:
+            stack.extend((node.left, node.right))
+            continue
+        if not (
+            isinstance(node, BinaryOp)
+            and node.op is BinaryOperator.EQ
+            and isinstance(node.left, Column)
+            and isinstance(node.right, Column)
+        ):
+            return None
+        a, b = node.left, node.right
+        if a.table == right_binding or (b.table == left_binding):
+            a, b = b, a
+        pairs.append((a, b))
+    return pairs or None
+
+
+def _hash_codes(arrays: Sequence[np.ndarray]) -> np.ndarray:
+    """Dense codes identifying each row's key tuple."""
+    combined = None
+    for col in arrays:
+        uniques, codes = np.unique(col, return_inverse=True)
+        codes = codes.astype(np.int64)
+        combined = codes if combined is None else combined * np.int64(len(uniques) + 1) + codes
+    if combined is None:
+        raise ExecutionError("hash join needs at least one key")
+    return combined
+
+
+def hash_join(
+    left: Frame,
+    right: Frame,
+    left_keys: Sequence[str],
+    right_keys: Sequence[str],
+    kind: JoinKind = JoinKind.INNER,
+) -> Frame:
+    """Hash join on equal-typed key columns.
+
+    Column names must already be disjoint (use :func:`prefix_columns`).
+    Outer variants emit unmatched rows with type-default padding (the
+    engine's columns are dense; there is no NULL in the storage model).
+    """
+    overlap = set(left.columns) & set(right.columns)
+    if overlap:
+        raise ExecutionError(f"join input column collision: {sorted(overlap)}")
+    if kind is JoinKind.RIGHT_OUTER:
+        return hash_join(right, left, right_keys, left_keys, JoinKind.LEFT_OUTER)
+
+    left_arrays = [left.column(k) for k in left_keys]
+    right_arrays = [right.column(k) for k in right_keys]
+    # Build the hash table on the smaller (right/build) side.
+    table: Dict[Tuple, List[int]] = {}
+    for i in range(right.num_rows):
+        key = tuple(arr[i] for arr in right_arrays)
+        table.setdefault(key, []).append(i)
+
+    left_idx: List[int] = []
+    right_idx: List[int] = []
+    unmatched: List[int] = []
+    for i in range(left.num_rows):
+        key = tuple(arr[i] for arr in left_arrays)
+        matches = table.get(key)
+        if matches:
+            left_idx.extend([i] * len(matches))
+            right_idx.extend(matches)
+        elif kind is JoinKind.LEFT_OUTER:
+            unmatched.append(i)
+
+    li = np.asarray(left_idx, dtype=np.int64)
+    ri = np.asarray(right_idx, dtype=np.int64)
+    out: Dict[str, np.ndarray] = {}
+    for name, col in left.columns.items():
+        matched_part = col[li]
+        if unmatched:
+            matched_part = np.concatenate((matched_part, col[np.asarray(unmatched)]))
+        out[name] = matched_part
+    pad = len(unmatched)
+    for name, col in right.columns.items():
+        matched_part = col[ri]
+        if pad:
+            matched_part = np.concatenate((matched_part, _default_pad(col, pad)))
+        out[name] = matched_part
+    return Frame(out, len(li) + pad)
+
+
+def cross_join(left: Frame, right: Frame) -> Frame:
+    overlap = set(left.columns) & set(right.columns)
+    if overlap:
+        raise ExecutionError(f"join input column collision: {sorted(overlap)}")
+    n, m = left.num_rows, right.num_rows
+    out: Dict[str, np.ndarray] = {}
+    for name, col in left.columns.items():
+        out[name] = np.repeat(col, m)
+    for name, col in right.columns.items():
+        out[name] = np.tile(col, n)
+    return Frame(out, n * m)
+
+
+def join(
+    left: Frame,
+    right: Frame,
+    kind: JoinKind,
+    condition: Optional[Expr],
+    left_binding: str,
+    right_binding: str,
+    resolve: Resolver,
+) -> Frame:
+    """General join: equi fast path, else filtered cross product."""
+    if kind is JoinKind.CROSS:
+        return cross_join(left, right)
+    if condition is None:
+        raise ExecutionError("non-CROSS join requires a condition")
+    pairs = equi_join_keys(condition, left_binding, right_binding)
+    if pairs is not None:
+        try:
+            left_keys = [resolve_in(left, p[0]) for p in pairs]
+            right_keys = [resolve_in(right, p[1]) for p in pairs]
+        except ExecutionError:
+            pairs = None
+        else:
+            return hash_join(left, right, left_keys, right_keys, kind)
+    # Fallback: cross product, then filter; outer pads unmatched rows.
+    product = cross_join(left, right)
+    mask = evaluate(condition, product, resolve).astype(np.bool_)
+    matched = product.take(mask)
+    if kind is JoinKind.INNER:
+        return matched
+    # LEFT/RIGHT outer via the fallback path
+    probe, build = (left, right) if kind is JoinKind.LEFT_OUTER else (right, left)
+    matched_mask = mask.reshape(left.num_rows, right.num_rows)
+    if kind is JoinKind.LEFT_OUTER:
+        missing = ~matched_mask.any(axis=1)
+    else:
+        missing = ~matched_mask.any(axis=0)
+    missing_rows = probe.take(missing)
+    pad = missing_rows.num_rows
+    out = {}
+    for name, col in matched.columns.items():
+        if name in probe.columns:
+            out[name] = np.concatenate((col, missing_rows.columns[name]))
+        else:
+            out[name] = np.concatenate((col, _default_pad(col, pad)))
+    return Frame(out, matched.num_rows + pad)
+
+
+def resolve_in(frame: Frame, col: Column) -> str:
+    if col.table is not None and f"{col.table}.{col.name}" in frame.columns:
+        return f"{col.table}.{col.name}"
+    if col.name in frame.columns:
+        return col.name
+    for key in frame.columns:
+        if key.endswith(f".{col.name}"):
+            return key
+    raise ExecutionError(f"column {col} not found in join input")
+
+
+def _default_pad(col: np.ndarray, n: int) -> np.ndarray:
+    if col.dtype == object:
+        pad = np.empty(n, dtype=object)
+        pad[:] = ""
+        return pad
+    return np.zeros(n, dtype=col.dtype)
+
+
+def sort_frame(frame: Frame, keys: Sequence[Tuple[np.ndarray, bool]]) -> Frame:
+    """Stable multi-key sort; keys are (values, ascending) pairs."""
+    order = np.arange(frame.num_rows)
+    for values, ascending in reversed(list(keys)):
+        take = values[order]
+        idx = np.argsort(take, kind="stable")
+        if not ascending:
+            idx = idx[::-1]
+            # keep stability within equal keys on descending sort
+            idx = _stable_descending(take, idx)
+        order = order[idx]
+    return frame.take(order)
+
+
+def _stable_descending(values: np.ndarray, reversed_idx: np.ndarray) -> np.ndarray:
+    """Fix tie order after reversing an ascending stable sort."""
+    sorted_vals = values[reversed_idx]
+    out = reversed_idx.copy()
+    start = 0
+    n = len(sorted_vals)
+    for i in range(1, n + 1):
+        if i == n or sorted_vals[i] != sorted_vals[start]:
+            out[start:i] = out[start:i][::-1]
+            start = i
+    return out
+
+
+def limit_frame(frame: Frame, n: Optional[int]) -> Frame:
+    if n is None:
+        return frame
+    return frame.head(n)

@@ -1,0 +1,144 @@
+"""0-1 vectors for SmartIndex (Fig 6).
+
+Each SmartIndex stores "the evaluation results of a query predicate" as a
+0-1 vector.  :class:`BitVector` is the uncompressed working form (packed
+bits, vectorized logical ops); :func:`rle_compress` implements the
+byte-level run-length compression the paper mentions ("Feisu can
+compress the index to improve memory efficiency") — selective predicates
+produce long zero runs that collapse well.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.errors import IndexError_
+
+
+class BitVector:
+    """A fixed-length bit vector with bitwise algebra.
+
+    Supports the exact operations of the Fig 7 plan rewrite: bit-AND to
+    combine conjuncts, bit-OR for disjunctive clauses, and bit-NOT to
+    answer a predicate from its stored complement.
+    """
+
+    __slots__ = ("_bits", "length")
+
+    def __init__(self, packed: np.ndarray, length: int):
+        if packed.dtype != np.uint8:
+            raise IndexError_("BitVector needs a uint8 packed buffer")
+        self._bits = packed
+        self.length = length
+
+    @classmethod
+    def from_bool_array(cls, mask: np.ndarray) -> "BitVector":
+        mask = np.asarray(mask, dtype=np.bool_)
+        return cls(np.packbits(mask), len(mask))
+
+    @classmethod
+    def zeros(cls, length: int) -> "BitVector":
+        return cls(np.zeros((length + 7) // 8, dtype=np.uint8), length)
+
+    @classmethod
+    def ones(cls, length: int) -> "BitVector":
+        bv = cls(np.full((length + 7) // 8, 0xFF, dtype=np.uint8), length)
+        bv._mask_tail()
+        return bv
+
+    def _mask_tail(self) -> None:
+        """Zero the padding bits beyond ``length``."""
+        tail = self.length % 8
+        if tail and len(self._bits):
+            self._bits[-1] &= np.uint8(0xFF << (8 - tail) & 0xFF)
+
+    def to_bool_array(self) -> np.ndarray:
+        return np.unpackbits(self._bits, count=self.length).astype(np.bool_)
+
+    def _check(self, other: "BitVector") -> None:
+        if self.length != other.length:
+            raise IndexError_(
+                f"bit vector length mismatch: {self.length} vs {other.length}"
+            )
+
+    def __and__(self, other: "BitVector") -> "BitVector":
+        self._check(other)
+        return BitVector(self._bits & other._bits, self.length)
+
+    def __or__(self, other: "BitVector") -> "BitVector":
+        self._check(other)
+        return BitVector(self._bits | other._bits, self.length)
+
+    def __invert__(self) -> "BitVector":
+        out = BitVector(~self._bits, self.length)
+        out._mask_tail()
+        return out
+
+    def count(self) -> int:
+        """Number of set bits (matching rows)."""
+        # popcount via unpackbits on the exact length
+        return int(np.unpackbits(self._bits, count=self.length).sum())
+
+    def any(self) -> bool:
+        return bool(self._bits.any())
+
+    @property
+    def nbytes(self) -> int:
+        return int(self._bits.nbytes)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BitVector):
+            return NotImplemented
+        return self.length == other.length and bool((self._bits == other._bits).all())
+
+    def __hash__(self) -> int:  # pragma: no cover - not used as dict key
+        return hash((self.length, self._bits.tobytes()))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<BitVector len={self.length} set={self.count()}>"
+
+
+def rle_compress(bv: BitVector) -> Tuple[bytes, int]:
+    """Byte-level run-length compression of the packed buffer.
+
+    Returns ``(payload, original_length)``.  Format: repeating
+    ``(count:uint16, byte)`` records.
+    """
+    raw = bv._bits  # noqa: SLF001
+    if len(raw) == 0:
+        return b"", bv.length
+    change = np.concatenate(([True], raw[1:] != raw[:-1]))
+    starts = np.flatnonzero(change)
+    lengths = np.diff(np.concatenate((starts, [len(raw)])))
+    out = bytearray()
+    for start, run in zip(starts, lengths):
+        run = int(run)
+        while run > 0:
+            chunk = min(run, 0xFFFF)
+            out += chunk.to_bytes(2, "little")
+            out.append(int(raw[start]))
+            run -= chunk
+    return bytes(out), bv.length
+
+
+def rle_decompress(payload: bytes, length: int) -> BitVector:
+    """Inverse of :func:`rle_compress`."""
+    chunks = []
+    pos = 0
+    while pos < len(payload):
+        run = int.from_bytes(payload[pos : pos + 2], "little")
+        byte = payload[pos + 2]
+        chunks.append(np.full(run, byte, dtype=np.uint8))
+        pos += 3
+    if chunks:
+        packed = np.concatenate(chunks)
+    else:
+        packed = np.zeros(0, dtype=np.uint8)
+    expected = (length + 7) // 8
+    if len(packed) != expected:
+        raise IndexError_(
+            f"corrupt RLE payload: {len(packed)} bytes for length {length}"
+        )
+    return BitVector(packed, length)

@@ -1,0 +1,272 @@
+"""SmartIndex entries and the per-leaf index cache manager (§IV-C).
+
+An entry mirrors the Fig 6 record: block id; the canonical
+``op/colname/colvalue`` predicate identity; the 0-1 result vector
+(optionally RLE-compressed); and misc metadata (creation time, last use,
+preference flag).
+
+The :class:`SmartIndexManager` implements §IV-C-2's management policy:
+
+* entries are created every time a predicate is evaluated on a leaf;
+* deletion on (1) memory pressure — LRU — or (2) age beyond the TTL
+  (72 h by default, "based on our experiences");
+* user-set *preferences* keep entries alive past their TTL while memory
+  lasts, and make them the last LRU victims.
+
+Lookup implements the Fig 7 rewrite: a probe for predicate *p* first
+tries *p*'s own vector, then the stored vector of *p*'s complement
+negated on the fly (one in-memory bit-NOT).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import IndexError_
+from repro.index.bitmap import BitVector, rle_compress, rle_decompress
+from repro.planner.cnf import AtomicPredicate, Clause, ConjunctiveForm
+
+#: Default index Time-To-Live: 72 hours (§IV-C-2).
+DEFAULT_TTL_S = 72 * 3600.0
+#: Default per-leaf index memory: 512 MB at production scale (§VI-A).
+DEFAULT_MEMORY_BYTES = 512 * 1024 * 1024
+#: Compress entries whose RLE payload is at most this fraction of raw.
+COMPRESS_THRESHOLD = 0.75
+
+
+@dataclass
+class SmartIndexEntry:
+    """One (block, predicate) result vector plus Fig 6 metadata."""
+
+    block_id: str
+    predicate_key: str
+    length: int
+    created_at: float
+    last_used: float
+    preferred: bool = False
+    compressed: Optional[bytes] = None
+    raw: Optional[BitVector] = None
+    hit_count: int = 0
+
+    @classmethod
+    def build(
+        cls,
+        block_id: str,
+        predicate_key: str,
+        vector: BitVector,
+        now: float,
+        compress: bool = True,
+    ) -> "SmartIndexEntry":
+        entry = cls(
+            block_id=block_id,
+            predicate_key=predicate_key,
+            length=vector.length,
+            created_at=now,
+            last_used=now,
+        )
+        if compress:
+            payload, _ = rle_compress(vector)
+            if len(payload) <= vector.nbytes * COMPRESS_THRESHOLD:
+                entry.compressed = payload
+                return entry
+        entry.raw = vector
+        return entry
+
+    def vector(self) -> BitVector:
+        if self.raw is not None:
+            return self.raw
+        if self.compressed is None:
+            raise IndexError_(f"entry {self.key} holds no payload")
+        return rle_decompress(self.compressed, self.length)
+
+    @property
+    def key(self) -> Tuple[str, str]:
+        return (self.block_id, self.predicate_key)
+
+    @property
+    def nbytes(self) -> int:
+        payload = len(self.compressed) if self.compressed is not None else (
+            self.raw.nbytes if self.raw is not None else 0
+        )
+        return payload + 96  # struct overhead: ids, timestamps, misc
+
+
+@dataclass
+class IndexStats:
+    """Counters for the Fig 9/10/11 measurements."""
+
+    hits: int = 0
+    complement_hits: int = 0
+    misses: int = 0
+    creations: int = 0
+    evictions_lru: int = 0
+    evictions_ttl: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.complement_hits + self.misses
+
+    def miss_ratio(self) -> float:
+        return self.misses / self.lookups if self.lookups else 0.0
+
+
+class SmartIndexManager:
+    """Per-leaf in-memory cache of SmartIndex entries."""
+
+    def __init__(
+        self,
+        memory_budget_bytes: int = DEFAULT_MEMORY_BYTES,
+        ttl_s: float = DEFAULT_TTL_S,
+        compress: bool = True,
+    ):
+        if memory_budget_bytes <= 0:
+            raise IndexError_("index memory budget must be positive")
+        self.memory_budget_bytes = memory_budget_bytes
+        self.ttl_s = ttl_s
+        self.compress = compress
+        self._entries: "OrderedDict[Tuple[str, str], SmartIndexEntry]" = OrderedDict()
+        self._bytes = 0
+        self._preferred_predicates: set = set()
+        self.stats = IndexStats()
+
+    # -- preferences (§IV-C-2 user interfaces) ---------------------------
+
+    def prefer_predicate(self, predicate_key: str) -> None:
+        """Pin all (current and future) entries for this predicate."""
+        self._preferred_predicates.add(predicate_key)
+        for entry in self._entries.values():
+            if entry.predicate_key == predicate_key:
+                entry.preferred = True
+
+    def unprefer_predicate(self, predicate_key: str) -> None:
+        self._preferred_predicates.discard(predicate_key)
+        for entry in self._entries.values():
+            if entry.predicate_key == predicate_key:
+                entry.preferred = False
+
+    # -- core cache operations -------------------------------------------
+
+    def lookup_atom(self, block_id: str, atom: AtomicPredicate, now: float) -> Optional[BitVector]:
+        """Fetch the result vector for one atom, directly or via the
+        complement's bit-NOT (Fig 7)."""
+        self._expire(now)
+        entry = self._touch((block_id, atom.key), now)
+        if entry is not None:
+            self.stats.hits += 1
+            return entry.vector()
+        entry = self._touch((block_id, atom.complement().key), now)
+        if entry is not None:
+            self.stats.complement_hits += 1
+            return ~entry.vector()
+        self.stats.misses += 1
+        return None
+
+    def lookup_clause(self, block_id: str, clause: Clause, now: float) -> Optional[BitVector]:
+        """OR of all atom vectors; None unless *every* atom is present."""
+        if not clause.is_indexable:
+            return None
+        result: Optional[BitVector] = None
+        for atom in clause.atoms:
+            vec = self.lookup_atom(block_id, atom, now)
+            if vec is None:
+                return None
+            result = vec if result is None else (result | vec)
+        return result
+
+    def cover(
+        self, block_id: str, cnf: ConjunctiveForm, now: float
+    ) -> Tuple[Optional[BitVector], List[Clause]]:
+        """Try to answer a whole scan filter from the cache.
+
+        Returns ``(mask, missing_clauses)``.  ``mask`` is the AND of the
+        clause vectors found; ``missing_clauses`` are the ones that must
+        be evaluated against data.  Full cover ⇔ ``missing_clauses == []``
+        — then the block scan and predicate evaluation are both skipped.
+        """
+        mask: Optional[BitVector] = None
+        missing: List[Clause] = []
+        for clause in cnf.clauses:
+            vec = self.lookup_clause(block_id, clause, now)
+            if vec is None:
+                missing.append(clause)
+            else:
+                mask = vec if mask is None else (mask & vec)
+        return mask, missing
+
+    def insert(self, block_id: str, atom: AtomicPredicate, mask: np.ndarray, now: float) -> None:
+        """Record a freshly evaluated predicate result (§IV-C-2:
+        "Feisu creates a SmartIndex each time a query predicate is
+        evaluated in a leaf server")."""
+        vector = BitVector.from_bool_array(mask)
+        entry = SmartIndexEntry.build(
+            block_id, atom.key, vector, now, compress=self.compress
+        )
+        entry.preferred = atom.key in self._preferred_predicates
+        old = self._entries.pop(entry.key, None)
+        if old is not None:
+            self._bytes -= old.nbytes
+        self._entries[entry.key] = entry
+        self._bytes += entry.nbytes
+        self.stats.creations += 1
+        self._enforce_budget()
+
+    # -- policy ------------------------------------------------------------
+
+    def _touch(self, key: Tuple[str, str], now: float) -> Optional[SmartIndexEntry]:
+        entry = self._entries.get(key)
+        if entry is None:
+            return None
+        entry.last_used = now
+        entry.hit_count += 1
+        self._entries.move_to_end(key)
+        return entry
+
+    def _expire(self, now: float) -> None:
+        """TTL sweep; preferred entries outlive their TTL while memory
+        is not scarce (§IV-C-2)."""
+        dead = [
+            key
+            for key, e in self._entries.items()
+            if now - e.created_at > self.ttl_s and not e.preferred
+        ]
+        for key in dead:
+            self._remove(key)
+            self.stats.evictions_ttl += 1
+
+    def _enforce_budget(self) -> None:
+        while self._bytes > self.memory_budget_bytes and self._entries:
+            victim = None
+            for key, e in self._entries.items():  # LRU -> MRU
+                if not e.preferred:
+                    victim = key
+                    break
+            if victim is None:
+                victim = next(iter(self._entries))  # all preferred: evict LRU
+            self._remove(victim)
+            self.stats.evictions_lru += 1
+
+    def _remove(self, key: Tuple[str, str]) -> None:
+        entry = self._entries.pop(key)
+        self._bytes -= entry.nbytes
+
+    def invalidate_block(self, block_id: str) -> None:
+        """Drop every entry of a block (data rewrite)."""
+        for key in [k for k in self._entries if k[0] == block_id]:
+            self._remove(key)
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def used_bytes(self) -> int:
+        return self._bytes
+
+    @property
+    def entry_count(self) -> int:
+        return len(self._entries)
+
+    def entries_for_block(self, block_id: str) -> List[SmartIndexEntry]:
+        return [e for k, e in self._entries.items() if k[0] == block_id]

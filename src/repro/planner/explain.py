@@ -1,0 +1,88 @@
+"""EXPLAIN: human-readable physical plans.
+
+Renders what the master decided for a query — the §III-B "optimized
+query execution plan" — including predicate classification (indexable
+scan CNF vs. post-join residual), block pruning, projection pushdown,
+broadcast joins and cost estimates.  Exposed to users through
+:meth:`repro.client.FeisuClient.explain`.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.planner.cost import CostModel
+from repro.planner.physical import PhysicalPlan
+
+
+def explain(plan: PhysicalPlan, cost_model: CostModel = CostModel()) -> str:
+    """Render a physical plan as an indented tree."""
+    analyzed = plan.analyzed
+    lines: List[str] = [f"Plan {plan.plan_id}"]
+
+    def add(depth: int, text: str) -> None:
+        lines.append("  " * depth + text)
+
+    add(1, f"output: {', '.join(analyzed.output_names)}")
+
+    if analyzed.query.limit is not None:
+        add(1, f"limit: {analyzed.query.limit}")
+    if analyzed.query.order_by:
+        keys = ", ".join(
+            f"{item.expr}{'' if item.ascending else ' DESC'}" for item in analyzed.query.order_by
+        )
+        add(1, f"order by: {keys}")
+
+    if plan.is_aggregate:
+        aggs = ", ".join(str(a) for a in analyzed.aggregates)
+        add(1, f"aggregate: {aggs or '(none)'}")
+        if analyzed.group_keys:
+            add(2, f"group keys: {', '.join(str(k) for k in analyzed.group_keys)}")
+        if analyzed.query.having is not None:
+            add(2, f"having: {analyzed.query.having}")
+
+    for bc in plan.broadcasts:
+        add(1, f"broadcast join [{bc.kind.value}] {bc.table_name} AS {bc.binding}")
+        add(2, f"on: {bc.condition}")
+        add(2, f"columns: {', '.join(bc.columns)}")
+
+    if plan.post_filter is not None:
+        add(1, f"post-join filter: {plan.post_filter}")
+
+    table = analyzed.tables[analyzed.base_binding]
+    add(1, f"scan {table.name} ({len(plan.tasks)} tasks, {plan.pruned_blocks} blocks pruned)")
+    if plan.scan_cnf.clauses:
+        add(2, "scan predicates (CNF, SmartIndex-eligible):")
+        for clause in plan.scan_cnf.clauses:
+            add(3, str(clause))
+    else:
+        add(2, "scan predicates: (none)")
+    add(2, f"read columns: {', '.join(plan.tasks[0].columns) if plan.tasks else '(no tasks)'}")
+    add(2, f"payload columns: {', '.join(plan.payload_columns) or '(none)'}")
+
+    scan_bytes = plan.estimated_scan_bytes()
+    add(2, f"estimated scan: {_fmt_bytes(scan_bytes)} encoded")
+    if plan.tasks:
+        from repro.planner.selectivity import estimate_result_rows, estimate_selectivity
+
+        selectivity = estimate_selectivity(plan.scan_cnf, table)
+        add(
+            2,
+            f"estimated selectivity: {selectivity:.3f} "
+            f"(~{estimate_result_rows(plan):,.0f} of {table.modeled_rows:,.0f} modeled rows)",
+        )
+    if plan.tasks:
+        cold = sum(cost_model.task_seconds(t, plan.scan_cnf) for t in plan.tasks)
+        warm = sum(
+            cost_model.task_seconds(t, plan.scan_cnf, index_covered=True) for t in plan.tasks
+        )
+        add(2, f"estimated task seconds: {cold:.3f} cold / {warm:.3f} index-covered")
+    return "\n".join(lines)
+
+
+def _fmt_bytes(n: float) -> str:
+    for unit in ("B", "KB", "MB", "GB", "TB", "PB"):
+        if n < 1024 or unit == "PB":
+            return f"{n:.1f} {unit}"
+        n /= 1024
+    return f"{n:.1f} PB"  # pragma: no cover

@@ -1,0 +1,249 @@
+"""Vectorized expression evaluation over column arrays.
+
+A :class:`Frame` is the engine's unit of data in flight: named numpy
+columns of equal length.  :func:`evaluate` computes any scalar AST
+expression over a frame; aggregate calls are *not* evaluated here (the
+executor replaces them with materialized result columns first).
+
+Column resolution is pluggable because the same expression evaluates in
+two contexts: on a leaf against a single table (bare column names) and
+post-join against a combined frame (``binding.column`` names).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from repro.columnar.schema import DataType
+from repro.errors import ExecutionError
+from repro.sql.ast import (
+    AggregateCall,
+    BinaryOp,
+    BinaryOperator,
+    Column,
+    Expr,
+    FunctionCall,
+    Literal,
+    Negate,
+    NotOp,
+    Star,
+)
+
+
+@dataclass
+class Frame:
+    """Equal-length named columns plus the row count."""
+
+    columns: Dict[str, np.ndarray]
+    num_rows: int
+
+    @classmethod
+    def from_columns(cls, columns: Dict[str, np.ndarray]) -> "Frame":
+        lengths = {len(v) for v in columns.values()}
+        if len(lengths) > 1:
+            raise ExecutionError(f"ragged frame: lengths {sorted(lengths)}")
+        return cls(columns, lengths.pop() if lengths else 0)
+
+    def column(self, name: str) -> np.ndarray:
+        try:
+            return self.columns[name]
+        except KeyError:
+            raise ExecutionError(f"frame has no column {name!r}") from None
+
+    def select(self, names) -> "Frame":
+        return Frame({n: self.column(n) for n in names}, self.num_rows)
+
+    def take(self, mask_or_indices: np.ndarray) -> "Frame":
+        """Row subset by boolean mask or index array."""
+        out = {n: v[mask_or_indices] for n, v in self.columns.items()}
+        n = int(mask_or_indices.sum()) if mask_or_indices.dtype == np.bool_ else len(
+            mask_or_indices
+        )
+        return Frame(out, n)
+
+    def head(self, n: int) -> "Frame":
+        return Frame({k: v[:n] for k, v in self.columns.items()}, min(n, self.num_rows))
+
+    @staticmethod
+    def concat(frames) -> "Frame":
+        frames = [f for f in frames if f is not None]
+        if not frames:
+            return Frame({}, 0)
+        names = list(frames[0].columns)
+        for f in frames[1:]:
+            if list(f.columns) != names:
+                raise ExecutionError("cannot concat frames with differing columns")
+        out = {
+            n: np.concatenate([f.columns[n] for f in frames]) if frames else np.empty(0)
+            for n in names
+        }
+        return Frame(out, sum(f.num_rows for f in frames))
+
+
+#: Maps a Column AST node to a key in the frame's column dict.
+Resolver = Callable[[Column], str]
+
+
+def bare_resolver(col: Column) -> str:
+    """Single-table context: drop any qualifier."""
+    return col.name
+
+
+def make_qualified_resolver(frame: Frame, default_binding: Optional[str] = None) -> Resolver:
+    """Post-join context: try ``binding.column`` then the bare name."""
+
+    def resolve(col: Column) -> str:
+        if col.table is not None:
+            qualified = f"{col.table}.{col.name}"
+            if qualified in frame.columns:
+                return qualified
+        if col.name in frame.columns:
+            return col.name
+        if default_binding is not None:
+            qualified = f"{default_binding}.{col.name}"
+            if qualified in frame.columns:
+                return qualified
+        if col.table is None:
+            for key in frame.columns:
+                if key.endswith(f".{col.name}"):
+                    return key
+        raise ExecutionError(f"cannot resolve column {col} in frame")
+
+    return resolve
+
+
+def _broadcast(value, num_rows: int) -> np.ndarray:
+    if isinstance(value, str):
+        arr = np.empty(num_rows, dtype=object)
+        arr[:] = value
+        return arr
+    if isinstance(value, bool):
+        return np.full(num_rows, value, dtype=np.bool_)
+    if isinstance(value, int):
+        return np.full(num_rows, value, dtype=np.int64)
+    return np.full(num_rows, float(value), dtype=np.float64)
+
+
+def _contains(haystack: np.ndarray, needle: np.ndarray) -> np.ndarray:
+    out = np.empty(len(haystack), dtype=np.bool_)
+    for i in range(len(haystack)):
+        out[i] = needle[i] in haystack[i]
+    return out
+
+
+def string_contains(column: np.ndarray, needle: str) -> np.ndarray:
+    """Vectorized ``column CONTAINS literal`` — the hot predicate path."""
+    if len(column) == 0:
+        return np.empty(0, dtype=np.bool_)
+    return np.fromiter((needle in v for v in column), dtype=np.bool_, count=len(column))
+
+
+def evaluate(expr: Expr, frame: Frame, resolve: Resolver = bare_resolver) -> np.ndarray:
+    """Evaluate ``expr`` to a column of ``frame.num_rows`` values."""
+    if isinstance(expr, Literal):
+        return _broadcast(expr.value, frame.num_rows)
+    if isinstance(expr, Column):
+        return frame.column(resolve(expr))
+    if isinstance(expr, Star):
+        raise ExecutionError("'*' cannot be evaluated as a scalar expression")
+    if isinstance(expr, AggregateCall):
+        raise ExecutionError(
+            f"aggregate {expr} reached the scalar evaluator; executor bug"
+        )
+    if isinstance(expr, Negate):
+        return -evaluate(expr.operand, frame, resolve)
+    if isinstance(expr, NotOp):
+        return ~evaluate(expr.operand, frame, resolve).astype(np.bool_)
+    if isinstance(expr, FunctionCall):
+        return _evaluate_function(expr, frame, resolve)
+    if isinstance(expr, BinaryOp):
+        return _evaluate_binary(expr, frame, resolve)
+    raise ExecutionError(f"unsupported expression node {type(expr).__name__}")
+
+
+def _evaluate_function(expr: FunctionCall, frame: Frame, resolve: Resolver) -> np.ndarray:
+    args = [evaluate(a, frame, resolve) for a in expr.args]
+    if expr.name == "LENGTH":
+        return np.fromiter((len(v) for v in args[0]), dtype=np.int64, count=len(args[0]))
+    if expr.name == "LOWER":
+        out = np.empty(len(args[0]), dtype=object)
+        for i, v in enumerate(args[0]):
+            out[i] = v.lower()
+        return out
+    if expr.name == "UPPER":
+        out = np.empty(len(args[0]), dtype=object)
+        for i, v in enumerate(args[0]):
+            out[i] = v.upper()
+        return out
+    if expr.name == "ABS":
+        return np.abs(args[0])
+    raise ExecutionError(f"unknown function {expr.name!r}")
+
+
+def _evaluate_binary(expr: BinaryOp, frame: Frame, resolve: Resolver) -> np.ndarray:
+    op = expr.op
+    if op is BinaryOperator.AND:
+        left = evaluate(expr.left, frame, resolve).astype(np.bool_)
+        if not left.any():
+            return left  # short-circuit: right side can't change anything
+        return left & evaluate(expr.right, frame, resolve).astype(np.bool_)
+    if op is BinaryOperator.OR:
+        left = evaluate(expr.left, frame, resolve).astype(np.bool_)
+        if left.all():
+            return left
+        return left | evaluate(expr.right, frame, resolve).astype(np.bool_)
+
+    left = evaluate(expr.left, frame, resolve)
+    right = evaluate(expr.right, frame, resolve)
+    if op is BinaryOperator.CONTAINS:
+        if isinstance(expr.right, Literal) and isinstance(expr.right.value, str):
+            return string_contains(left, expr.right.value)
+        return _contains(left, right)
+    if op is BinaryOperator.EQ:
+        return left == right
+    if op is BinaryOperator.NE:
+        return left != right
+    if op is BinaryOperator.LT:
+        return left < right
+    if op is BinaryOperator.LE:
+        return left <= right
+    if op is BinaryOperator.GT:
+        return left > right
+    if op is BinaryOperator.GE:
+        return left >= right
+    if op is BinaryOperator.ADD:
+        return left + right
+    if op is BinaryOperator.SUB:
+        return left - right
+    if op is BinaryOperator.MUL:
+        return left * right
+    if op is BinaryOperator.DIV:
+        with np.errstate(divide="ignore", invalid="ignore"):
+            return np.true_divide(left, right)
+    if op is BinaryOperator.MOD:
+        with np.errstate(divide="ignore", invalid="ignore"):
+            return np.mod(left, right)
+    raise ExecutionError(f"unsupported operator {op}")
+
+
+def expression_cost_ops(expr: Expr, num_rows: int) -> float:
+    """Abstract op count for evaluating ``expr`` over ``num_rows`` rows.
+
+    The CPU cost model charges one op per row per operator node, with
+    CONTAINS weighted heavier (substring search).  Used both by the
+    cost-based planner and by leaf servers when charging simulated
+    compute time — SmartIndex's benefit is precisely skipping this.
+    """
+    node_cost = 0.0
+    stack = [expr]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, BinaryOp) and node.op is BinaryOperator.CONTAINS:
+            node_cost += 20.0
+        elif isinstance(node, (BinaryOp, NotOp, Negate, FunctionCall)):
+            node_cost += 1.0
+        stack.extend(node.children())
+    return node_cost * num_rows

@@ -1,0 +1,86 @@
+"""Selectivity estimation for the cost-based planner (§III-B).
+
+Combines the catalog's per-column histograms with classic default
+heuristics (System-R style) for predicates histograms can't answer:
+
+* histogram-backed ordered comparisons and numeric equality;
+* defaults for CONTAINS (substring match), string equality, and columns
+  with no statistics;
+* independence-assumption combination: AND multiplies, OR complements.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.columnar.table import Table
+from repro.planner.cnf import AtomicPredicate, Clause, ConjunctiveForm
+from repro.sql.ast import BinaryOperator
+
+#: Default selectivities where no histogram applies.
+DEFAULT_COMPARISON = 1.0 / 3.0
+DEFAULT_EQUALITY = 0.05
+DEFAULT_CONTAINS = 0.10
+
+_OP_TEXT = {
+    BinaryOperator.LT: "<",
+    BinaryOperator.LE: "<=",
+    BinaryOperator.GT: ">",
+    BinaryOperator.GE: ">=",
+    BinaryOperator.EQ: "=",
+    BinaryOperator.NE: "!=",
+}
+
+
+def atom_selectivity(atom: AtomicPredicate, table: Optional[Table]) -> float:
+    """Estimated fraction of rows one atomic predicate keeps."""
+    if atom.op is BinaryOperator.CONTAINS:
+        base = DEFAULT_CONTAINS
+        return 1.0 - base if atom.negated else base
+    value = atom.value
+    numeric = isinstance(value, (int, float)) and not isinstance(value, bool)
+    histogram = table.histogram(atom.column) if table is not None else None
+    if histogram is not None and numeric:
+        return _clamp(histogram.selectivity(_OP_TEXT[atom.op], float(value)))
+    if atom.op is BinaryOperator.EQ:
+        return DEFAULT_EQUALITY
+    if atom.op is BinaryOperator.NE:
+        return 1.0 - DEFAULT_EQUALITY
+    return DEFAULT_COMPARISON
+
+
+def clause_selectivity(clause: Clause, table: Optional[Table]) -> float:
+    """A clause is a disjunction: complement-multiply its parts."""
+    keep_nothing = 1.0
+    for atom in clause.atoms:
+        keep_nothing *= 1.0 - atom_selectivity(atom, table)
+    for _residual in clause.residuals:
+        keep_nothing *= 1.0 - DEFAULT_COMPARISON
+    return _clamp(1.0 - keep_nothing)
+
+
+def estimate_selectivity(cnf: ConjunctiveForm, table: Optional[Table]) -> float:
+    """AND of clauses under the independence assumption."""
+    out = 1.0
+    for clause in cnf.clauses:
+        out *= clause_selectivity(clause, table)
+    return _clamp(out)
+
+
+def estimate_result_rows(plan) -> float:
+    """Estimated base-table rows surviving the scan filter (modeled scale).
+
+    Join fan-out and the post-join residual are approximated with the
+    default comparison selectivity per residual conjunct.
+    """
+    analyzed = plan.analyzed
+    table = analyzed.tables[analyzed.base_binding]
+    surviving_fraction = estimate_selectivity(plan.scan_cnf, table)
+    rows = sum(t.block.modeled_rows for t in plan.tasks) * surviving_fraction
+    if plan.post_filter is not None:
+        rows *= DEFAULT_COMPARISON
+    return rows
+
+
+def _clamp(x: float) -> float:
+    return min(1.0, max(0.0, x))

@@ -1,0 +1,171 @@
+"""Conjunctive-form simplification.
+
+Drill-down sessions (§IV-A) pile predicates onto the same columns —
+``a > 3 AND a > 5`` and worse.  Before the scan CNF reaches SmartIndex
+and the executor, the planner normalizes it:
+
+* **domination**: among single-atom clauses on one column, keep only the
+  tightest bound per direction (``a > 3 AND a > 5`` → ``a > 5``);
+* **equality propagation**: an equality absorbs every ordered bound it
+  satisfies (``a = 4 AND a > 3`` → ``a = 4``);
+* **contradiction detection**: an unsatisfiable conjunction
+  (``a > 5 AND a < 3``, ``a = 1 AND a = 2``) marks the whole filter
+  *empty* — the planner then produces zero tasks.
+
+Simplification is semantics-preserving (property-tested) and improves
+index reuse: fewer, canonical conjuncts mean fewer distinct cache keys.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.planner.cnf import AtomicPredicate, Clause, ConjunctiveForm
+from repro.sql.ast import BinaryOperator
+
+_LOWER = (BinaryOperator.GT, BinaryOperator.GE)
+_UPPER = (BinaryOperator.LT, BinaryOperator.LE)
+
+
+@dataclass
+class SimplifiedForm:
+    """Result of :func:`simplify_cnf`."""
+
+    cnf: ConjunctiveForm
+    #: True when the conjunction is provably unsatisfiable.
+    contradiction: bool = False
+    #: Atoms removed as redundant (for EXPLAIN/debugging).
+    removed: Tuple[str, ...] = ()
+
+
+def simplify_cnf(cnf: ConjunctiveForm) -> SimplifiedForm:
+    """Simplify; multi-atom (OR) and residual clauses pass through."""
+    passthrough: List[Clause] = []
+    singles: Dict[str, List[AtomicPredicate]] = {}
+    for clause in cnf.clauses:
+        if clause.is_indexable and len(clause.atoms) == 1:
+            atom = clause.atoms[0]
+            singles.setdefault(atom.column, []).append(atom)
+        else:
+            passthrough.append(clause)
+
+    kept: List[Clause] = []
+    removed: List[str] = []
+    for column in sorted(singles):
+        atoms = singles[column]
+        survivors, contradiction = _simplify_column(atoms)
+        if contradiction:
+            return SimplifiedForm(ConjunctiveForm([]), contradiction=True)
+        removed.extend(a.key for a in atoms if a not in survivors)
+        kept.extend(Clause((a,)) for a in survivors)
+    return SimplifiedForm(
+        ConjunctiveForm(kept + passthrough), removed=tuple(removed)
+    )
+
+
+def _simplify_column(atoms: List[AtomicPredicate]) -> Tuple[List[AtomicPredicate], bool]:
+    """Simplify the conjunction of single-column atoms.
+
+    Only numeric/orderable comparisons participate; CONTAINS and
+    mixed-type oddities pass through untouched.
+    """
+    ordered = [a for a in atoms if _comparable(a)]
+    rest = [a for a in atoms if not _comparable(a)]
+    if not ordered:
+        return _dedupe(atoms), False
+
+    equalities = [a for a in ordered if a.op is BinaryOperator.EQ]
+    inequalities = [a for a in ordered if a.op is BinaryOperator.NE]
+    lowers = [a for a in ordered if a.op in _LOWER]
+    uppers = [a for a in ordered if a.op in _UPPER]
+
+    # Multiple distinct equalities on one column contradict.
+    eq_values = {a.value for a in equalities}
+    if len(eq_values) > 1:
+        return [], True
+
+    if equalities:
+        v = equalities[0].value
+        # the equality must satisfy every other constraint, else contradiction
+        for a in lowers:
+            if not _holds(v, a):
+                return [], True
+        for a in uppers:
+            if not _holds(v, a):
+                return [], True
+        for a in inequalities:
+            if v == a.value:
+                return [], True
+        return _dedupe([equalities[0]] + rest), False
+
+    best_lower = _tightest(lowers, direction="lower")
+    best_upper = _tightest(uppers, direction="upper")
+    if best_lower is not None and best_upper is not None:
+        if not _range_satisfiable(best_lower, best_upper):
+            return [], True
+    survivors = [a for a in (best_lower, best_upper) if a is not None]
+    # NE atoms whose value lies outside the surviving range are vacuous.
+    for a in inequalities:
+        if best_lower is not None and not _holds(a.value, best_lower):
+            continue
+        if best_upper is not None and not _holds(a.value, best_upper):
+            continue
+        survivors.append(a)
+    return _dedupe(survivors + rest), False
+
+
+def _comparable(atom: AtomicPredicate) -> bool:
+    if atom.op is BinaryOperator.CONTAINS:
+        return False
+    return isinstance(atom.value, (int, float)) and not isinstance(atom.value, bool)
+
+
+def _holds(value, atom: AtomicPredicate) -> bool:
+    """Does ``value`` satisfy ``column OP atom.value``?"""
+    op, bound = atom.op, atom.value
+    if op is BinaryOperator.GT:
+        return value > bound
+    if op is BinaryOperator.GE:
+        return value >= bound
+    if op is BinaryOperator.LT:
+        return value < bound
+    if op is BinaryOperator.LE:
+        return value <= bound
+    if op is BinaryOperator.EQ:
+        return value == bound
+    return value != bound
+
+
+def _tightest(atoms: List[AtomicPredicate], direction: str) -> Optional[AtomicPredicate]:
+    """The binding constraint among same-direction bounds."""
+    if not atoms:
+        return None
+    if direction == "lower":
+        # larger bound is tighter; on ties, strict (>) beats non-strict (>=)
+        return max(
+            atoms, key=lambda a: (a.value, 1 if a.op is BinaryOperator.GT else 0)
+        )
+    return min(
+        atoms, key=lambda a: (a.value, -1 if a.op is BinaryOperator.LT else 0)
+    )
+
+
+def _range_satisfiable(lower: AtomicPredicate, upper: AtomicPredicate) -> bool:
+    lo, hi = lower.value, upper.value
+    if lo > hi:
+        return False
+    if lo == hi:
+        # touching bounds satisfiable only when both ends are inclusive
+        return lower.op is BinaryOperator.GE and upper.op is BinaryOperator.LE
+    return True
+
+
+def _dedupe(atoms: List[AtomicPredicate]) -> List[AtomicPredicate]:
+    seen = set()
+    out = []
+    for a in atoms:
+        if a.key not in seen:
+            seen.add(a.key)
+            out.append(a)
+    return out

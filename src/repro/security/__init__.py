@@ -1,0 +1,6 @@
+"""Authentication, authorization and quotas (§V-A)."""
+
+from repro.security.acl import AccessControl, Quota, QuotaPolicy, RateLimiter
+from repro.security.auth import Credential, SSOAuthority
+
+__all__ = ["AccessControl", "Credential", "Quota", "QuotaPolicy", "RateLimiter", "SSOAuthority"]

@@ -1,0 +1,29 @@
+"""Discrete-event simulation substrate for the Feisu reproduction."""
+
+from repro.sim.events import Event, Process, SimulationError, Simulator
+from repro.sim.netmodel import (
+    Link,
+    NetworkTopology,
+    NodeAddress,
+    TopologySpec,
+    TrafficClass,
+)
+from repro.sim.resources import Cpu, Device, Disk, Nic, Resource, Ssd
+
+__all__ = [
+    "Cpu",
+    "Device",
+    "Disk",
+    "Event",
+    "Link",
+    "NetworkTopology",
+    "Nic",
+    "NodeAddress",
+    "Process",
+    "Resource",
+    "SimulationError",
+    "Simulator",
+    "Ssd",
+    "TopologySpec",
+    "TrafficClass",
+]

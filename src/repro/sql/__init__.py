@@ -1,0 +1,52 @@
+"""SQL frontend for Feisu's star-schema dialect (§III-A)."""
+
+from repro.sql.analyzer import AnalyzedQuery, analyze
+from repro.sql.ast import (
+    AggregateCall,
+    BinaryOp,
+    BinaryOperator,
+    Column,
+    Expr,
+    FunctionCall,
+    JoinClause,
+    JoinKind,
+    Literal,
+    Negate,
+    NotOp,
+    OrderItem,
+    Query,
+    SelectItem,
+    Star,
+    TableRef,
+)
+from repro.sql.formatter import format_expression, format_query
+from repro.sql.lexer import Token, TokenType, tokenize
+from repro.sql.parser import parse, parse_expression
+
+__all__ = [
+    "AggregateCall",
+    "AnalyzedQuery",
+    "BinaryOp",
+    "BinaryOperator",
+    "Column",
+    "Expr",
+    "FunctionCall",
+    "JoinClause",
+    "JoinKind",
+    "Literal",
+    "Negate",
+    "NotOp",
+    "OrderItem",
+    "Query",
+    "SelectItem",
+    "Star",
+    "TableRef",
+    "Token",
+    "TokenType",
+    "analyze",
+    "format_expression",
+    "format_query",
+    "parse",
+    "parse_expression",
+    "tokenize",
+]

@@ -1,0 +1,376 @@
+"""Recursive-descent parser for the §III-A grammar.
+
+Produces the immutable :mod:`repro.sql.ast` node tree.  Precedence
+(loosest first): OR, AND, NOT, comparison/CONTAINS, additive,
+multiplicative, unary minus, primary.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.errors import ParseError
+from repro.sql.ast import (
+    AGGREGATE_FUNCTIONS,
+    AggregateCall,
+    BinaryOp,
+    BinaryOperator,
+    Column,
+    Expr,
+    FunctionCall,
+    JoinClause,
+    JoinKind,
+    Literal,
+    Negate,
+    NotOp,
+    OrderItem,
+    Query,
+    SelectItem,
+    Star,
+    TableRef,
+)
+from repro.sql.lexer import Token, TokenType, tokenize
+
+_COMPARISON_OPS = {
+    "=": BinaryOperator.EQ,
+    "!=": BinaryOperator.NE,
+    "<": BinaryOperator.LT,
+    "<=": BinaryOperator.LE,
+    ">": BinaryOperator.GT,
+    ">=": BinaryOperator.GE,
+}
+
+_SCALAR_FUNCTIONS = frozenset({"LENGTH", "LOWER", "UPPER", "ABS"})
+
+#: Parenthesis-nesting guard: beyond this, reject with a clear error
+#: instead of exhausting the recursion stack.
+MAX_EXPRESSION_DEPTH = 64
+
+
+def parse(text: str) -> Query:
+    """Parse one SELECT statement (optionally ``;``-terminated)."""
+    return _Parser(text).parse_query()
+
+
+def parse_expression(text: str) -> Expr:
+    """Parse a standalone expression (used by tests and the workload
+    generator's predicate tooling)."""
+    parser = _Parser(text)
+    expr = parser._expr()
+    parser._expect_eof()
+    return expr
+
+
+class _Parser:
+    def __init__(self, text: str):
+        self._text = text
+        self._tokens = tokenize(text)
+        self._pos = 0
+        self._depth = 0
+
+    # -- token helpers ---------------------------------------------------
+
+    def _peek(self, ahead: int = 0) -> Token:
+        return self._tokens[min(self._pos + ahead, len(self._tokens) - 1)]
+
+    def _advance(self) -> Token:
+        tok = self._tokens[self._pos]
+        if tok.type is not TokenType.EOF:
+            self._pos += 1
+        return tok
+
+    def _error(self, message: str) -> ParseError:
+        tok = self._peek()
+        return ParseError(f"{message}, found {tok}", position=tok.position, text=self._text)
+
+    def _accept_keyword(self, word: str) -> bool:
+        if self._peek().is_keyword(word):
+            self._advance()
+            return True
+        return False
+
+    def _expect_keyword(self, word: str) -> None:
+        if not self._accept_keyword(word):
+            raise self._error(f"expected {word}")
+
+    def _accept_punct(self, ch: str) -> bool:
+        tok = self._peek()
+        if tok.type is TokenType.PUNCT and tok.text == ch:
+            self._advance()
+            return True
+        return False
+
+    def _expect_punct(self, ch: str) -> None:
+        if not self._accept_punct(ch):
+            raise self._error(f"expected {ch!r}")
+
+    def _expect_identifier(self, what: str) -> str:
+        tok = self._peek()
+        if tok.type is not TokenType.IDENTIFIER:
+            raise self._error(f"expected {what}")
+        self._advance()
+        return tok.text
+
+    def _expect_eof(self) -> None:
+        self._accept_punct(";")
+        if self._peek().type is not TokenType.EOF:
+            raise self._error("unexpected trailing input")
+
+    # -- statement -------------------------------------------------------
+
+    def parse_query(self) -> Query:
+        self._expect_keyword("SELECT")
+        select_items = self._select_list()
+        self._expect_keyword("FROM")
+        tables = [self._table_ref()]
+        while self._accept_punct(","):
+            tables.append(self._table_ref())
+        joins = self._joins()
+        where = self._expr() if self._accept_keyword("WHERE") else None
+        group_by: Tuple[Expr, ...] = ()
+        if self._accept_keyword("GROUP"):
+            self._expect_keyword("BY")
+            group_by = tuple(self._expr_list())
+        having = self._expr() if self._accept_keyword("HAVING") else None
+        order_by: Tuple[OrderItem, ...] = ()
+        if self._accept_keyword("ORDER"):
+            self._expect_keyword("BY")
+            order_by = tuple(self._order_list())
+        limit = None
+        if self._accept_keyword("LIMIT"):
+            tok = self._peek()
+            if tok.type is not TokenType.NUMBER or "." in tok.text or "e" in tok.text.lower():
+                raise self._error("expected integer LIMIT")
+            self._advance()
+            limit = int(tok.text)
+            if limit < 0:
+                raise self._error("LIMIT must be non-negative")
+        self._expect_eof()
+        return Query(
+            select_items=tuple(select_items),
+            tables=tuple(tables),
+            joins=tuple(joins),
+            where=where,
+            group_by=group_by,
+            having=having,
+            order_by=order_by,
+            limit=limit,
+        )
+
+    def _select_list(self) -> List[SelectItem]:
+        items = [self._select_item()]
+        while self._accept_punct(","):
+            items.append(self._select_item())
+        return items
+
+    def _select_item(self) -> SelectItem:
+        tok = self._peek()
+        if tok.type is TokenType.OPERATOR and tok.text == "*":
+            # bare ``SELECT *`` — valid only when alone; analyzer checks.
+            self._advance()
+            return SelectItem(Star())
+        expr = self._expr()
+        alias = None
+        if self._accept_keyword("AS"):
+            alias = self._expect_identifier("alias after AS")
+        elif self._peek().type is TokenType.IDENTIFIER:
+            alias = self._advance().text
+        return SelectItem(expr, alias)
+
+    def _table_ref(self) -> TableRef:
+        name = self._expect_identifier("table name")
+        alias = None
+        if self._accept_keyword("AS"):
+            alias = self._expect_identifier("table alias")
+        elif self._peek().type is TokenType.IDENTIFIER:
+            alias = self._advance().text
+        return TableRef(name, alias)
+
+    def _joins(self) -> List[JoinClause]:
+        joins: List[JoinClause] = []
+        while True:
+            kind = self._join_kind()
+            if kind is None:
+                return joins
+            table = self._table_ref()
+            condition: Optional[Expr] = None
+            if kind is not JoinKind.CROSS:
+                self._expect_keyword("ON")
+                condition = self._expr()
+            joins.append(JoinClause(kind, table, condition))
+
+    def _join_kind(self) -> Optional[JoinKind]:
+        tok = self._peek()
+        if tok.is_keyword("JOIN"):
+            self._advance()
+            return JoinKind.INNER
+        if tok.is_keyword("INNER"):
+            self._advance()
+            self._expect_keyword("JOIN")
+            return JoinKind.INNER
+        if tok.is_keyword("CROSS"):
+            self._advance()
+            self._expect_keyword("JOIN")
+            return JoinKind.CROSS
+        if tok.is_keyword("LEFT") or tok.is_keyword("RIGHT"):
+            side = self._advance().text
+            self._accept_keyword("OUTER")
+            self._expect_keyword("JOIN")
+            return JoinKind.LEFT_OUTER if side == "LEFT" else JoinKind.RIGHT_OUTER
+        return None
+
+    def _expr_list(self) -> List[Expr]:
+        items = [self._expr()]
+        while self._accept_punct(","):
+            items.append(self._expr())
+        return items
+
+    def _order_list(self) -> List[OrderItem]:
+        items = []
+        while True:
+            expr = self._expr()
+            ascending = True
+            if self._accept_keyword("DESC"):
+                ascending = False
+            else:
+                self._accept_keyword("ASC")
+            items.append(OrderItem(expr, ascending))
+            if not self._accept_punct(","):
+                return items
+
+    # -- expressions -------------------------------------------------------
+
+    def _expr(self) -> Expr:
+        return self._or_expr()
+
+    def _or_expr(self) -> Expr:
+        left = self._and_expr()
+        while self._accept_keyword("OR"):
+            left = BinaryOp(BinaryOperator.OR, left, self._and_expr())
+        return left
+
+    def _and_expr(self) -> Expr:
+        left = self._not_expr()
+        while self._accept_keyword("AND"):
+            left = BinaryOp(BinaryOperator.AND, left, self._not_expr())
+        return left
+
+    def _not_expr(self) -> Expr:
+        if self._accept_keyword("NOT"):
+            return NotOp(self._not_expr())
+        tok = self._peek()
+        if tok.type is TokenType.OPERATOR and tok.text == "!":  # pragma: no cover
+            raise self._error("use NOT for negation")
+        return self._comparison()
+
+    def _comparison(self) -> Expr:
+        left = self._additive()
+        tok = self._peek()
+        if tok.type is TokenType.OPERATOR and tok.text in _COMPARISON_OPS:
+            self._advance()
+            return BinaryOp(_COMPARISON_OPS[tok.text], left, self._additive())
+        if tok.is_keyword("CONTAINS"):
+            self._advance()
+            return BinaryOp(BinaryOperator.CONTAINS, left, self._additive())
+        return left
+
+    def _additive(self) -> Expr:
+        left = self._multiplicative()
+        while True:
+            tok = self._peek()
+            if tok.type is TokenType.OPERATOR and tok.text in ("+", "-"):
+                self._advance()
+                op = BinaryOperator.ADD if tok.text == "+" else BinaryOperator.SUB
+                left = BinaryOp(op, left, self._multiplicative())
+            else:
+                return left
+
+    def _multiplicative(self) -> Expr:
+        left = self._unary()
+        while True:
+            tok = self._peek()
+            if tok.type is TokenType.OPERATOR and tok.text in ("*", "/", "%"):
+                self._advance()
+                op = {
+                    "*": BinaryOperator.MUL,
+                    "/": BinaryOperator.DIV,
+                    "%": BinaryOperator.MOD,
+                }[tok.text]
+                left = BinaryOp(op, left, self._unary())
+            else:
+                return left
+
+    def _unary(self) -> Expr:
+        tok = self._peek()
+        if tok.type is TokenType.OPERATOR and tok.text == "-":
+            self._advance()
+            return Negate(self._unary())
+        return self._primary()
+
+    def _primary(self) -> Expr:
+        tok = self._peek()
+        if tok.type is TokenType.NUMBER:
+            self._advance()
+            text = tok.text
+            if "." in text or "e" in text.lower():
+                return Literal(float(text))
+            return Literal(int(text))
+        if tok.type is TokenType.STRING:
+            self._advance()
+            return Literal(tok.text)
+        if tok.is_keyword("TRUE"):
+            self._advance()
+            return Literal(True)
+        if tok.is_keyword("FALSE"):
+            self._advance()
+            return Literal(False)
+        if tok.type is TokenType.PUNCT and tok.text == "(":
+            if self._depth >= MAX_EXPRESSION_DEPTH:
+                raise ParseError(
+                    f"expression nested deeper than {MAX_EXPRESSION_DEPTH} parentheses",
+                    position=tok.position,
+                    text=self._text,
+                )
+            self._advance()
+            self._depth += 1
+            try:
+                inner = self._expr()
+            finally:
+                self._depth -= 1
+            self._expect_punct(")")
+            return inner
+        if tok.type is TokenType.IDENTIFIER:
+            return self._identifier_expr()
+        raise self._error("expected expression")
+
+    def _identifier_expr(self) -> Expr:
+        name = self._advance().text
+        # function call?
+        if self._peek().type is TokenType.PUNCT and self._peek().text == "(":
+            return self._call(name)
+        # qualified column?
+        if self._peek().type is TokenType.PUNCT and self._peek().text == ".":
+            self._advance()
+            column = self._expect_identifier("column name after '.'")
+            return Column(column, table=name)
+        return Column(name)
+
+    def _call(self, name: str) -> Expr:
+        upper = name.upper()
+        self._expect_punct("(")
+        if upper in AGGREGATE_FUNCTIONS:
+            if upper == "COUNT" and self._peek().type is TokenType.OPERATOR and self._peek().text == "*":
+                self._advance()
+                argument: Expr = Star()
+            else:
+                argument = self._expr()
+            self._expect_punct(")")
+            within = self._expr() if self._accept_keyword("WITHIN") else None
+            return AggregateCall(upper, argument, within)
+        if upper in _SCALAR_FUNCTIONS:
+            args = [self._expr()]
+            while self._accept_punct(","):
+                args.append(self._expr())
+            self._expect_punct(")")
+            return FunctionCall(upper, tuple(args))
+        raise self._error(f"unknown function {name!r}")

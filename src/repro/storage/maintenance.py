@@ -1,0 +1,113 @@
+"""Replica repair: keeping storage systems at target replication.
+
+The scheduler tolerates replica loss by reading surviving copies
+(§III-B), but a healthy deployment *re-replicates*: this maintenance
+process periodically scans each block-replicated system for
+under-replicated files and copies them onto fresh nodes, charging the
+copy traffic to the WRITE class.  It is the substrate-side complement to
+Feisu's task-level fault tolerance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Generator, List, Optional, Tuple
+
+from repro.sim.events import Event, Simulator
+from repro.sim.netmodel import NetworkTopology, NodeAddress, TrafficClass
+from repro.storage.systems import DistributedFS
+
+#: How often the repair scanner wakes up, simulated seconds.
+DEFAULT_SCAN_PERIOD_S = 60.0
+
+
+@dataclass
+class RepairReport:
+    """Outcome of one repair scan."""
+
+    files_scanned: int = 0
+    under_replicated: int = 0
+    repairs_done: int = 0
+    bytes_copied: int = 0
+    unrepairable: List[str] = field(default_factory=list)
+
+
+class ReplicaRepairer:
+    """Scans one DistributedFS and restores its replication factor."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        net: NetworkTopology,
+        system: DistributedFS,
+        scan_period_s: float = DEFAULT_SCAN_PERIOD_S,
+    ):
+        self.sim = sim
+        self.net = net
+        self.system = system
+        self.scan_period_s = scan_period_s
+        self.total_repairs = 0
+        self._running = False
+
+    # -- one-shot scan ------------------------------------------------------
+
+    def find_under_replicated(self) -> List[Tuple[str, int]]:
+        """(path, missing_count) for every file below target replication."""
+        out = []
+        target = self.system.replication
+        for path in self.system.list_paths():
+            have = len(self.system.locations(path))
+            if have < target:
+                out.append((path, target - have))
+        return out
+
+    def repair_once(self) -> Generator[Event, None, RepairReport]:
+        """Process generator: scan and repair everything found."""
+        report = RepairReport()
+        report.files_scanned = len(self.system.list_paths())
+        for path, missing in self.find_under_replicated():
+            report.under_replicated += 1
+            survivors = self.system.locations(path)
+            if not survivors:
+                report.unrepairable.append(path)
+                continue
+            data = self.system.read(path)
+            for _ in range(missing):
+                target_node = self._pick_target(path, survivors)
+                if target_node is None:
+                    report.unrepairable.append(path)
+                    break
+                source = min(survivors, key=lambda s: self.net.distance(s, target_node))
+                yield self.net.transfer(source, target_node, len(data), TrafficClass.WRITE)
+                self.system._placement[path].append(target_node)  # noqa: SLF001
+                survivors = self.system.locations(path)
+                report.repairs_done += 1
+                report.bytes_copied += len(data)
+                self.total_repairs += 1
+        return report
+
+    def _pick_target(self, path: str, existing: List[NodeAddress]) -> Optional[NodeAddress]:
+        """A live-ish node not already holding the file, preferring a rack
+        no current replica occupies (the HDFS placement invariant)."""
+        held = set(existing)
+        held_racks = {(a.datacenter, a.rack) for a in existing}
+        candidates = [n for n in self.system._nodes if n not in held]  # noqa: SLF001
+        if not candidates:
+            return None
+        off_rack = [n for n in candidates if (n.datacenter, n.rack) not in held_racks]
+        pool = off_rack or candidates
+        return pool[self.system._rng.randrange(len(pool))]  # noqa: SLF001
+
+    # -- background loop ------------------------------------------------------
+
+    def start(self) -> None:
+        """Run repair scans forever on the simulation clock."""
+        if self._running:
+            return
+        self._running = True
+        self.sim.process(self._loop(), name=f"repair-{self.system.name}")
+
+    def _loop(self) -> Generator[Event, None, None]:
+        while True:
+            yield self.sim.timeout(self.scan_period_s)
+            yield self.sim.process(self.repair_once(), name="repair-scan")

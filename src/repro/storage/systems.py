@@ -1,0 +1,165 @@
+"""Concrete storage substrates: local FS, HDFS-like, Fatman, KV store.
+
+Placement policies:
+
+* :class:`LocalFS` — data stays on the node that produced it (log data on
+  online service machines, §II).  Reads from other nodes cross the
+  network.
+* :class:`DistributedFS` — HDFS-style: three replicas, first on the
+  writer's node (or random), second on the same rack, third on a
+  different rack.  Business/global data (§II).
+* :class:`FatmanFS` — the cold archival store built on volunteer
+  resources [Fatman, VLDB'14]: two replicas scattered across
+  datacenters, high first-byte latency, tight per-node task agreement —
+  archival product data (§II, case 3).
+* :class:`KeyValueStore` — label storage: small values hash-partitioned
+  across nodes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from typing import List, Optional, Sequence
+
+from repro.errors import StorageError
+from repro.sim.netmodel import NodeAddress
+from repro.storage.base import ServiceProfile, StorageSystem
+
+#: Default profiles, calibrated to the relative service levels in §II/§VI.
+LOCAL_PROFILE = ServiceProfile(first_byte_latency_s=0.0, bandwidth_factor=1.0, tasks_per_node=2)
+HDFS_PROFILE = ServiceProfile(first_byte_latency_s=0.002, bandwidth_factor=1.0, tasks_per_node=4)
+FATMAN_PROFILE = ServiceProfile(first_byte_latency_s=0.25, bandwidth_factor=0.5, tasks_per_node=1)
+KV_PROFILE = ServiceProfile(first_byte_latency_s=0.001, bandwidth_factor=1.0, tasks_per_node=4)
+
+
+def _stable_index(key: str, modulus: int) -> int:
+    digest = hashlib.blake2b(key.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "little") % modulus
+
+
+class LocalFS(StorageSystem):
+    """Per-node local filesystems presented as one namespace.
+
+    Every write *must* name its owner node; the file has exactly one
+    "replica" — the producing machine — so remote readers pay network.
+    """
+
+    scheme = "local"
+
+    def __init__(self, nodes: Sequence[NodeAddress], name: str = "localfs"):
+        super().__init__(name, domain="online-service", profile=LOCAL_PROFILE)
+        self._nodes = list(nodes)
+        if not self._nodes:
+            raise StorageError("LocalFS needs at least one node")
+
+    def _place(self, path: str, nbytes: int, node: Optional[NodeAddress]) -> List[NodeAddress]:
+        if node is None:
+            raise StorageError("LocalFS writes must name the producing node")
+        if node not in self._nodes:
+            raise StorageError(f"{node} is not part of this cluster")
+        return [node]
+
+
+class DistributedFS(StorageSystem):
+    """HDFS-like block-replicated distributed filesystem."""
+
+    scheme = "hdfs"
+
+    def __init__(
+        self,
+        nodes: Sequence[NodeAddress],
+        name: str = "hdfs",
+        replication: int = 3,
+        seed: int = 7,
+        profile: ServiceProfile = HDFS_PROFILE,
+        domain: str = "hdfs-domain",
+    ):
+        super().__init__(name, domain=domain, profile=profile)
+        self._nodes = list(nodes)
+        self._rng = random.Random(seed)
+        self.replication = replication
+        if len(self._nodes) < 1:
+            raise StorageError("DistributedFS needs at least one node")
+
+    def _same_rack(self, a: NodeAddress, b: NodeAddress) -> bool:
+        return (a.datacenter, a.rack) == (b.datacenter, b.rack)
+
+    def _place(self, path: str, nbytes: int, node: Optional[NodeAddress]) -> List[NodeAddress]:
+        first = node if node in self._nodes else self._rng.choice(self._nodes)
+        replicas = [first]
+        same_rack = [n for n in self._nodes if self._same_rack(n, first) and n != first]
+        if same_rack and len(replicas) < self.replication:
+            replicas.append(self._rng.choice(same_rack))
+        other_rack = [n for n in self._nodes if not self._same_rack(n, first)]
+        self._rng.shuffle(other_rack)
+        for cand in other_rack:
+            if len(replicas) >= self.replication:
+                break
+            if cand not in replicas:
+                replicas.append(cand)
+        # Small clusters may not satisfy full replication; degrade gracefully.
+        for cand in self._nodes:
+            if len(replicas) >= self.replication:
+                break
+            if cand not in replicas:
+                replicas.append(cand)
+        return replicas
+
+
+class FatmanFS(DistributedFS):
+    """Baidu's cost-saving archival store on volunteer resources.
+
+    Replicas land in *different datacenters* when possible (volunteer
+    nodes are wherever spare capacity is), reads pay a large first-byte
+    latency, and the per-node agreement grants Feisu a single task slot.
+    """
+
+    scheme = "ffs"
+
+    def __init__(self, nodes: Sequence[NodeAddress], name: str = "fatman", seed: int = 11):
+        super().__init__(
+            nodes,
+            name=name,
+            replication=2,
+            seed=seed,
+            profile=FATMAN_PROFILE,
+            domain="fatman-domain",
+        )
+
+    def _place(self, path: str, nbytes: int, node: Optional[NodeAddress]) -> List[NodeAddress]:
+        by_dc: dict = {}
+        for n in self._nodes:
+            by_dc.setdefault(n.datacenter, []).append(n)
+        dcs = sorted(by_dc)
+        self._rng.shuffle(dcs)
+        replicas = [self._rng.choice(by_dc[dc]) for dc in dcs[: self.replication]]
+        while len(replicas) < self.replication and len(replicas) < len(self._nodes):
+            cand = self._rng.choice(self._nodes)
+            if cand not in replicas:
+                replicas.append(cand)
+        return replicas
+
+
+class KeyValueStore(StorageSystem):
+    """Hash-partitioned label storage (model-training labels, §II)."""
+
+    scheme = "kv"
+
+    def __init__(self, nodes: Sequence[NodeAddress], name: str = "kvstore", replication: int = 2):
+        super().__init__(name, domain="kv-domain", profile=KV_PROFILE)
+        self._nodes = list(nodes)
+        self.replication = min(replication, len(self._nodes))
+        if not self._nodes:
+            raise StorageError("KeyValueStore needs at least one node")
+
+    def _place(self, path: str, nbytes: int, node: Optional[NodeAddress]) -> List[NodeAddress]:
+        start = _stable_index(path, len(self._nodes))
+        return [self._nodes[(start + i) % len(self._nodes)] for i in range(self.replication)]
+
+    # Dict-flavoured aliases for label producers.
+    def put(self, key: str, value: bytes) -> None:
+        self.write(key if key.startswith("/") else f"/{key}", value)
+
+    def get(self, key: str) -> bytes:
+        return self.read(key if key.startswith("/") else f"/{key}")

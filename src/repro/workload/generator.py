@@ -1,0 +1,229 @@
+"""Query-workload generator with tunable locality and similarity (§IV-A).
+
+The paper's two-month trace analysis found that, within short windows,
+(1) a small set of columns is repeatedly accessed (*data locality*) and
+(2) many queries share exact predicates (*query similarity*), because
+"human users usually explore the data in a trial-and-error approach ...
+first issue an aggregation query without query predicates and then add
+predicates one by one based on the query results".
+
+:class:`WorkloadGenerator` reproduces that generating process directly:
+users run drill-down *sessions*; a session fixes a small column set and a
+predicate pool, issues an initial aggregate, then refines it predicate by
+predicate, re-using pool predicates with high probability.  Knobs expose
+how strong both effects are, so the Fig 4/5 benches can sweep them.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.columnar.schema import DataType, Schema
+
+#: Comparison operators eligible for numeric predicate synthesis.
+_NUM_OPS = (">", ">=", "<", "<=", "=")
+
+
+@dataclass(frozen=True)
+class TimedQuery:
+    """One generated query with its submission time and author."""
+
+    at_s: float
+    user: str
+    sql: str
+
+
+@dataclass
+class WorkloadConfig:
+    """Knobs controlling locality/similarity strength."""
+
+    num_users: int = 12
+    #: Mean queries per drill-down session.
+    session_length: int = 6
+    #: Columns a session works with (data locality strength: smaller =
+    #: stronger locality).
+    columns_per_session: int = 3
+    #: Size of the per-user predicate pool sessions draw from.
+    predicate_pool_size: int = 8
+    #: Probability a new predicate is drawn from the pool rather than
+    #: freshly randomized (query similarity strength).
+    reuse_probability: float = 0.8
+    #: Mean seconds between consecutive queries of one user.
+    think_time_s: float = 300.0
+    #: Fraction of sessions that are pure scans (vs aggregations) —
+    #: Fig 8 shows scans+aggregations ≥ 99 % of production queries.
+    aggregate_fraction: float = 0.7
+    seed: int = 42
+
+
+class WorkloadGenerator:
+    """Generates timed SQL streams over one table's schema."""
+
+    def __init__(
+        self,
+        table: str,
+        schema: Schema,
+        config: Optional[WorkloadConfig] = None,
+        value_ranges: Optional[Dict[str, Tuple[float, float]]] = None,
+        contains_values: Optional[Dict[str, List[str]]] = None,
+    ):
+        self.table = table
+        self.schema = schema
+        self.config = config or WorkloadConfig()
+        self._rng = random.Random(self.config.seed)
+        #: Numeric columns eligible for comparison predicates.
+        self._numeric = [f.name for f in schema if f.dtype.is_numeric]
+        self._strings = [f.name for f in schema if f.dtype is DataType.STRING]
+        self._ranges = value_ranges or {}
+        self._contains = contains_values or {}
+        self._pools: Dict[str, List[str]] = {}
+
+    # -- predicate synthesis --------------------------------------------------
+
+    def _random_predicate(self, columns: Sequence[str]) -> str:
+        rng = self._rng
+        candidates = [c for c in columns if c in self._numeric or c in self._contains]
+        column = rng.choice(candidates if candidates else list(columns))
+        if column in self._contains and (column not in self._numeric or rng.random() < 0.3):
+            needle = rng.choice(self._contains[column])
+            return f"{column} CONTAINS '{needle}'"
+        lo, hi = self._ranges.get(column, (0, 100))
+        value = rng.randint(int(lo), max(int(lo), int(hi)))
+        op = rng.choice(_NUM_OPS)
+        return f"{column} {op} {value}"
+
+    def _pool_for(self, user: str, columns: Sequence[str]) -> List[str]:
+        pool = self._pools.get(user)
+        if pool is None:
+            pool = [
+                self._random_predicate(columns)
+                for _ in range(self.config.predicate_pool_size)
+            ]
+            self._pools[user] = pool
+        return pool
+
+    def _next_predicate(self, user: str, columns: Sequence[str]) -> str:
+        rng = self._rng
+        pool = self._pool_for(user, columns)
+        if rng.random() < self.config.reuse_probability and pool:
+            return rng.choice(pool)
+        pred = self._random_predicate(columns)
+        # Fresh predicates enter the pool, displacing the oldest: the
+        # "hot set" drifts slowly, as real exploration does.
+        pool.pop(0)
+        pool.append(pred)
+        return pred
+
+    # -- query synthesis ----------------------------------------------------------
+
+    def _session_columns(self, user_columns: Sequence[str]) -> List[str]:
+        """Pick a session's working set, biased toward hot columns.
+
+        Weighted sampling without replacement with geometrically decaying
+        weights: the head of ``user_columns`` is hot (repeats across
+        sessions quickly), the tail is cold (repeats only over long
+        spans) — which is what gives Fig 4 its growth with span.
+        """
+        k = min(self.config.columns_per_session, len(user_columns))
+        pool = list(user_columns)
+        chosen: List[str] = []
+        while len(chosen) < k:
+            weights = [0.6**i for i in range(len(pool))]
+            pick = self._rng.choices(range(len(pool)), weights=weights, k=1)[0]
+            chosen.append(pool.pop(pick))
+        return chosen
+
+    def _select_clause(self, columns: Sequence[str], aggregate: bool) -> str:
+        rng = self._rng
+        if not aggregate:
+            return ", ".join(columns[: max(1, len(columns) - 1)])
+        numeric = [c for c in columns if c in self._numeric]
+        choice = rng.random()
+        if choice < 0.5 or not numeric:
+            return "COUNT(*)"
+        agg = rng.choice(["SUM", "AVG", "MAX", "MIN"])
+        return f"{agg}({rng.choice(numeric)})"
+
+    def generate(self, duration_s: float) -> List[TimedQuery]:
+        """Emit the merged, time-ordered query stream of all users."""
+        rng = self._rng
+        cfg = self.config
+        out: List[TimedQuery] = []
+        # Users share a biased column universe: hot columns first, a cold
+        # tail behind them (the head repeats often; the tail rarely).
+        hot_columns = (self._numeric + self._strings)[: max(4, cfg.columns_per_session * 5)]
+        for u in range(cfg.num_users):
+            user = f"user{u}"
+            t = rng.uniform(0, cfg.think_time_s)
+            while t < duration_s:
+                session_cols = self._session_columns(hot_columns)
+                aggregate = rng.random() < cfg.aggregate_fraction
+                predicates: List[str] = []
+                length = max(1, int(rng.gauss(cfg.session_length, 1.5)))
+                for step in range(length):
+                    if t >= duration_s:
+                        break
+                    if step > 0:
+                        predicates.append(self._next_predicate(user, session_cols))
+                    sql = f"SELECT {self._select_clause(session_cols, aggregate)} FROM {self.table}"
+                    if predicates:
+                        sql += " WHERE " + " AND ".join(f"({p})" for p in predicates)
+                    out.append(TimedQuery(at_s=t, user=user, sql=sql))
+                    t += rng.expovariate(1.0 / cfg.think_time_s)
+                t += rng.expovariate(1.0 / (cfg.think_time_s * 2))
+        out.sort(key=lambda q: q.at_s)
+        return out
+
+
+def scan_query_stream(
+    table: str,
+    columns: Sequence[str],
+    value_range: Tuple[int, int],
+    count: int,
+    seed: int = 7,
+    contains_column: Optional[str] = None,
+    contains_values: Optional[Sequence[str]] = None,
+    pool_size: int = 24,
+    reuse_probability: float = 0.75,
+) -> List[str]:
+    """The §VI-B scan workload::
+
+        SELECT a FROM T WHERE b OP1 v1 [[AND|OR] c OP2 v2]
+
+    with randomly generated parameters drawn from a finite pool, so that
+    predicate repetition matches production behaviour (high similarity).
+    """
+    rng = random.Random(seed)
+    lo, hi = value_range
+
+    def fresh_predicate() -> str:
+        if contains_column and contains_values and rng.random() < 0.25:
+            return f"{contains_column} CONTAINS '{rng.choice(list(contains_values))}'"
+        column = rng.choice(list(columns[1:]) or list(columns))
+        return f"{column} {rng.choice(_NUM_OPS)} {rng.randint(lo, hi)}"
+
+    pool = [fresh_predicate() for _ in range(pool_size)]
+    queries = []
+    for _ in range(count):
+        def draw() -> str:
+            if rng.random() < reuse_probability:
+                return rng.choice(pool)
+            pred = fresh_predicate()
+            pool[rng.randrange(len(pool))] = pred
+            return pred
+
+        preds = [draw()]
+        roll = rng.random()
+        if roll < 0.4:
+            preds.append(draw())
+            conjunction = "AND" if rng.random() < 0.7 else "OR"
+        sql = f"SELECT {columns[0]} FROM {table} WHERE ({preds[0]})"
+        if len(preds) == 2:
+            sql = (
+                f"SELECT {columns[0]} FROM {table} "
+                f"WHERE ({preds[0]}) {conjunction} ({preds[1]})"
+            )
+        queries.append(sql)
+    return queries

@@ -1,0 +1,67 @@
+"""Shared fixtures: a small wired cluster and reference datasets."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import FeisuCluster, FeisuConfig, Schema, DataType
+
+
+def make_clicks_columns(n: int = 6000, seed: int = 5):
+    """A small URL-click table with known contents."""
+    rng = np.random.default_rng(seed)
+    return {
+        "c1": rng.integers(0, 100, n),
+        "c2": rng.integers(0, 10, n),
+        "url": np.array(
+            [f"http://site{i % 7}.example.com/p{i % 13}" for i in range(n)], dtype=object
+        ),
+        "clicks": rng.random(n),
+        "province": np.array(
+            [["beijing", "shanghai", "guangdong"][i % 3] for i in range(n)], dtype=object
+        ),
+    }
+
+
+CLICKS_SCHEMA = Schema.of(
+    c1=DataType.INT64,
+    c2=DataType.INT64,
+    url=DataType.STRING,
+    clicks=DataType.FLOAT64,
+    province=DataType.STRING,
+)
+
+
+@pytest.fixture(scope="module")
+def small_cluster():
+    """One-datacenter cluster with table T loaded on storage A and a
+    dimension table D, shared across a test module."""
+    cluster = FeisuCluster(FeisuConfig(datacenters=1, racks_per_datacenter=2, nodes_per_rack=4))
+    columns = make_clicks_columns()
+    cluster.load_table("T", CLICKS_SCHEMA, columns, storage="storage-a", block_rows=1500)
+    dim = {
+        "c2": np.arange(10),
+        "label": np.array([f"grp{i}" for i in range(10)], dtype=object),
+        "weight": np.linspace(0.1, 1.0, 10),
+    }
+    cluster.load_table(
+        "D",
+        Schema.of(c2=DataType.INT64, label=DataType.STRING, weight=DataType.FLOAT64),
+        dim,
+        storage="storage-b",
+        block_rows=100,
+    )
+    cluster._test_columns = columns  # stashed for assertions
+    cluster._test_dim = dim
+    return cluster
+
+
+@pytest.fixture()
+def fresh_cluster():
+    """A pristine cluster per test (for stateful index/scheduling tests)."""
+    cluster = FeisuCluster(FeisuConfig(datacenters=1, racks_per_datacenter=2, nodes_per_rack=4))
+    columns = make_clicks_columns(3000, seed=11)
+    cluster.load_table("T", CLICKS_SCHEMA, columns, storage="storage-a", block_rows=1000)
+    cluster._test_columns = columns
+    return cluster

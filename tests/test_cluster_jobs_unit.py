@@ -1,0 +1,82 @@
+"""Unit tests for task signatures and job bookkeeping."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.jobs import JobOptions, new_job, task_signature
+from repro.columnar.schema import DataType, Schema
+from repro.columnar.table import Catalog
+from repro.planner.physical import build_plan
+from repro.sql.analyzer import analyze
+from repro.sql.parser import parse
+from repro.storage.loader import store_table
+from repro.storage.router import StorageRouter
+from repro.storage.systems import DistributedFS
+from repro.sim.netmodel import TopologySpec
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    nodes = TopologySpec(1, 1, 4).addresses()
+    hdfs = DistributedFS(nodes)
+    router = StorageRouter()
+    router.register(hdfs, default=True)
+    cat = Catalog()
+    rng = np.random.default_rng(1)
+    store_table(
+        "T",
+        Schema.of(a=DataType.INT64, b=DataType.FLOAT64),
+        {"a": rng.integers(0, 10, 1000), "b": rng.random(1000)},
+        router,
+        hdfs,
+        block_rows=500,
+        catalog=cat,
+    )
+    return cat
+
+
+def _plan(catalog, sql):
+    return build_plan(analyze(parse(sql), catalog))
+
+
+def test_identical_queries_same_signatures(catalog):
+    p1 = _plan(catalog, "SELECT COUNT(*) FROM T WHERE a > 3")
+    p2 = _plan(catalog, "SELECT COUNT(*) FROM T WHERE a > 3")
+    sigs1 = [task_signature(p1, t) for t in p1.tasks]
+    sigs2 = [task_signature(p2, t) for t in p2.tasks]
+    assert sigs1 == sigs2  # despite distinct plan/task ids
+
+
+def test_textual_variants_share_signatures(catalog):
+    # canonical CNF keys make `3 < a` identical to `a > 3`
+    p1 = _plan(catalog, "SELECT COUNT(*) FROM T WHERE a > 3")
+    p2 = _plan(catalog, "SELECT COUNT(*) FROM T WHERE 3 < a")
+    assert [task_signature(p1, t) for t in p1.tasks] == [
+        task_signature(p2, t) for t in p2.tasks
+    ]
+
+
+def test_different_predicates_different_signatures(catalog):
+    p1 = _plan(catalog, "SELECT COUNT(*) FROM T WHERE a > 3")
+    p2 = _plan(catalog, "SELECT COUNT(*) FROM T WHERE a > 4")
+    assert task_signature(p1, p1.tasks[0]) != task_signature(p2, p2.tasks[0])
+
+
+def test_different_aggregates_different_signatures(catalog):
+    p1 = _plan(catalog, "SELECT COUNT(*) FROM T WHERE a > 3")
+    p2 = _plan(catalog, "SELECT SUM(b) FROM T WHERE a > 3")
+    assert task_signature(p1, p1.tasks[0]) != task_signature(p2, p2.tasks[0])
+
+
+def test_projection_vs_aggregate_different_signatures(catalog):
+    p1 = _plan(catalog, "SELECT a FROM T WHERE a > 3")
+    p2 = _plan(catalog, "SELECT COUNT(*) FROM T WHERE a > 3")
+    assert task_signature(p1, p1.tasks[0]) != task_signature(p2, p2.tasks[0])
+
+
+def test_new_job_snapshot(catalog):
+    plan = _plan(catalog, "SELECT COUNT(*) FROM T WHERE a > 3")
+    job = new_job("u", "SELECT ...", plan, JobOptions(), now=5.0)
+    assert job.submitted_at == 5.0
+    assert job.stats.tasks_total == len(plan.tasks)
+    assert job.response_time_s == 0.0  # not finished yet

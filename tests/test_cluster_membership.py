@@ -1,0 +1,140 @@
+"""Cluster manager liveness tracking and primary/backup failover."""
+
+import pytest
+
+from repro.cluster.failover import PrimaryBackup
+from repro.cluster.membership import (
+    HEARTBEAT_PERIOD_S,
+    MISSED_LIMIT,
+    ClusterManager,
+)
+from repro.cluster.messages import WorkerLoad
+from repro.errors import ClusterStateError
+from repro.sim.events import Simulator
+from repro.sim.netmodel import NodeAddress
+
+
+def test_register_and_duplicate():
+    sim = Simulator()
+    cm = ClusterManager(sim)
+    cm.register("w0", NodeAddress(0, 0, 0))
+    with pytest.raises(ClusterStateError):
+        cm.register("w0", NodeAddress(0, 0, 1))
+    with pytest.raises(ClusterStateError):
+        cm.heartbeat("unknown", WorkerLoad())
+
+
+def test_heartbeat_keeps_alive():
+    sim = Simulator()
+    cm = ClusterManager(sim)
+    cm.register("w0", NodeAddress(0, 0, 0))
+    sim.schedule(HEARTBEAT_PERIOD_S * MISSED_LIMIT, lambda: cm.heartbeat("w0", WorkerLoad()))
+    sim.run()
+    assert cm.sweep() == []
+    assert cm.is_alive("w0")
+
+
+def test_missed_heartbeats_mark_dead():
+    sim = Simulator()
+    cm = ClusterManager(sim)
+    cm.register("w0", NodeAddress(0, 0, 0))
+    sim.schedule(HEARTBEAT_PERIOD_S * MISSED_LIMIT + 1, lambda: None)
+    sim.run()
+    assert cm.sweep() == ["w0"]
+    assert not cm.is_alive("w0")
+    assert cm.sweep() == []  # reported once
+
+
+def test_heartbeat_revives():
+    sim = Simulator()
+    cm = ClusterManager(sim)
+    cm.register("w0", NodeAddress(0, 0, 0))
+    sim.schedule(100.0, lambda: None)
+    sim.run()
+    cm.sweep()
+    cm.heartbeat("w0", WorkerLoad(running_tasks=2))
+    assert cm.is_alive("w0")
+    assert cm.load_of("w0").running_tasks == 2
+
+
+def test_live_workers_filtering():
+    sim = Simulator()
+    cm = ClusterManager(sim)
+    cm.register("leaf0", NodeAddress(0, 0, 0))
+    cm.register("stem0", NodeAddress(0, 0, 1), is_stem=True)
+    assert {w.worker_id for w in cm.live_workers()} == {"leaf0", "stem0"}
+    assert [w.worker_id for w in cm.live_workers(stems=True)] == ["stem0"]
+    assert [w.worker_id for w in cm.live_workers(stems=False)] == ["leaf0"]
+
+
+def test_worker_load_pressure_ordering():
+    idle = WorkerLoad()
+    busy = WorkerLoad(running_tasks=4, queued_tasks=2, disk_queue_s=1.0)
+    assert busy.pressure > idle.pressure
+
+
+# -- primary/backup failover (§III-C reliability) ---------------------------
+
+
+def _counter_ops():
+    def add(state, n):
+        state["total"] = state.get("total", 0) + n
+
+    return add
+
+
+def test_primary_backup_basic_replication():
+    sim = Simulator()
+    pb = PrimaryBackup(sim, dict, "jobmgr")
+    add = _counter_ops()
+    for i in range(10):
+        pb.apply(add, i)
+    assert pb.state["total"] == sum(range(10))
+    pb.sync_shadow()
+    assert pb.monitoring_state()["total"] == sum(range(10))
+    assert pb.shadow_lag_ops == 0
+
+
+def test_shadow_lag_bounded():
+    sim = Simulator()
+    pb = PrimaryBackup(sim, dict, "jobmgr")
+    add = _counter_ops()
+    for i in range(100):
+        pb.apply(add, 1)
+    assert pb.shadow_lag_ops <= 32
+
+
+def test_failover_loses_nothing():
+    sim = Simulator()
+    pb = PrimaryBackup(sim, dict, "jobmgr")
+    add = _counter_ops()
+    for _ in range(50):
+        pb.apply(add, 2)
+    pb.fail_primary()
+    assert pb.failovers == 1
+    assert pb.state["total"] == 100  # shadow replayed the full log
+    # writes continue against the promoted primary
+    pb.apply(add, 1)
+    assert pb.state["total"] == 101
+
+
+def test_failover_without_shadow_fatal():
+    sim = Simulator()
+    pb = PrimaryBackup(sim, dict, "x")
+    pb.fail_primary()
+    with pytest.raises(ClusterStateError):
+        pb.fail_primary()
+    with pytest.raises(ClusterStateError):
+        _ = pb.state
+
+
+def test_new_shadow_bootstraps_from_log():
+    sim = Simulator()
+    pb = PrimaryBackup(sim, dict, "x")
+    add = _counter_ops()
+    for _ in range(5):
+        pb.apply(add, 3)
+    pb.fail_primary()
+    pb.start_new_shadow()
+    pb.fail_primary()  # second failover onto the fresh shadow
+    assert pb.state["total"] == 15

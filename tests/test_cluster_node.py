@@ -1,0 +1,115 @@
+"""Leaf server behaviour: slots, storage profiles, SSD cache, crashes."""
+
+import numpy as np
+import pytest
+
+from repro import FeisuCluster, FeisuConfig, LeafConfig, Schema, DataType
+
+
+def _cluster(leaf: LeafConfig = LeafConfig(), **kw):
+    cfg = FeisuConfig(datacenters=1, racks_per_datacenter=2, nodes_per_rack=4, leaf=leaf, **kw)
+    cluster = FeisuCluster(cfg)
+    n = 3000
+    rng = np.random.default_rng(2)
+    cluster.load_table(
+        "T",
+        Schema.of(a=DataType.INT64, b=DataType.FLOAT64),
+        {"a": rng.integers(0, 50, n), "b": rng.random(n)},
+        storage="storage-a",
+        block_rows=500,
+    )
+    return cluster
+
+
+def test_smartindex_disabled_leaf():
+    cluster = _cluster(LeafConfig(enable_smartindex=False))
+    sql = "SELECT COUNT(*) FROM T WHERE a > 10"
+    r1 = cluster.query(sql)
+    r2 = cluster.query(sql)
+    assert r1.rows() == r2.rows()
+    assert r2.stats["index_full_covers"] == 0
+    assert cluster.aggregate_index_stats().lookups == 0
+
+
+def test_fatman_first_byte_latency_slows_queries():
+    cluster_hot = _cluster()
+    cluster_cold = FeisuCluster(FeisuConfig(datacenters=2, racks_per_datacenter=2, nodes_per_rack=4))
+    n = 3000
+    rng = np.random.default_rng(2)
+    cols = {"a": rng.integers(0, 50, n), "b": rng.random(n)}
+    schema = Schema.of(a=DataType.INT64, b=DataType.FLOAT64)
+    cluster_cold.load_table("T", schema, cols, storage="fatman", block_rows=500)
+    hot = cluster_hot.query("SELECT COUNT(*) FROM T WHERE a > 10")
+    cold = cluster_cold.query("SELECT COUNT(*) FROM T WHERE a > 10")
+    assert hot.rows() == cold.rows()
+    assert cold.stats["response_time_s"] > hot.stats["response_time_s"]
+
+
+def test_fatman_single_slot_serializes_tasks():
+    cluster = FeisuCluster(FeisuConfig(datacenters=2, racks_per_datacenter=2, nodes_per_rack=2))
+    n = 4000
+    cluster.load_table(
+        "Cold",
+        Schema.of(a=DataType.INT64),
+        {"a": np.arange(n)},
+        storage="fatman",
+        block_rows=500,
+    )
+    r = cluster.query("SELECT COUNT(*) FROM Cold")
+    assert r.rows()[0][0] == n
+
+
+def test_local_fs_table_scans_from_owner_node():
+    cluster = _cluster()
+    node = cluster.nodes[3]
+    cluster.load_table(
+        "L",
+        Schema.of(x=DataType.INT64),
+        {"x": np.arange(100)},
+        storage="localfs",
+        block_rows=50,
+        node=node,
+    )
+    r = cluster.query("SELECT COUNT(*) FROM L WHERE x < 10")
+    assert r.rows()[0][0] == 10
+    # the only replica is the producing node, so it did (some of) the work
+    owner_leaf = cluster.leaf_at(node)
+    assert owner_leaf.tasks_completed > 0
+
+
+def test_ssd_cache_hits_on_repeat_scan():
+    leaf_cfg = LeafConfig(enable_ssd_cache=True, ssd_admit_preferred_only=False)
+    cluster = _cluster(leaf_cfg)
+    cluster.query("SELECT SUM(b) FROM T WHERE a > -1")
+    misses = sum(lf.ssd_cache.misses for lf in cluster.leaves)
+    cluster.query("SELECT SUM(b) FROM T WHERE a > -2")  # different predicate, same blocks
+    hits = sum(lf.ssd_cache.hits for lf in cluster.leaves)
+    assert misses > 0 and hits > 0
+
+
+def test_crashed_leaf_rejects_tasks_and_recovers():
+    cluster = _cluster()
+    leaf = cluster.leaves[0]
+    leaf.crash()
+    assert not leaf.alive
+    leaf.recover()
+    assert leaf.alive
+    r = cluster.query("SELECT COUNT(*) FROM T")
+    assert r.rows()[0][0] == 3000
+
+
+def test_btree_mode_executes_correctly():
+    cluster = _cluster(LeafConfig(enable_smartindex=False, enable_btree=True))
+    r1 = cluster.query("SELECT COUNT(*) FROM T WHERE a >= 25")
+    cols_a = None
+    r2 = cluster.query("SELECT COUNT(*) FROM T WHERE a >= 25")
+    assert r1.rows() == r2.rows()
+    assert sum(lf.btree_builds for lf in cluster.leaves) > 0
+
+
+def test_index_memory_accounting_visible():
+    cluster = _cluster()
+    cluster.query("SELECT COUNT(*) FROM T WHERE a > 10")
+    assert cluster.index_memory_used() > 0
+    stats = cluster.aggregate_index_stats()
+    assert stats.creations > 0

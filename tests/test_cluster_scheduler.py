@@ -1,0 +1,139 @@
+"""Scheduler placement policy and backup deadlines."""
+
+import pytest
+
+from repro import FeisuCluster, FeisuConfig, Schema, DataType
+from repro.cluster.scheduler import BACKUP_FACTOR, BACKUP_MIN_S
+from repro.errors import SchedulingError
+from repro.planner.physical import build_plan
+from repro.sql.analyzer import analyze
+from repro.sql.parser import parse
+
+import numpy as np
+
+
+@pytest.fixture()
+def env():
+    cluster = FeisuCluster(FeisuConfig(datacenters=1, racks_per_datacenter=2, nodes_per_rack=4))
+    n = 2000
+    cluster.load_table(
+        "T",
+        Schema.of(a=DataType.INT64),
+        {"a": np.arange(n)},
+        storage="storage-a",
+        block_rows=500,
+    )
+    plan = build_plan(analyze(parse("SELECT COUNT(*) FROM T WHERE a >= 0"), cluster.catalog))
+    return cluster, plan
+
+
+def test_place_prefers_replica_holder(env):
+    cluster, plan = env
+    task = plan.tasks[0]
+    placement = cluster.scheduler.place(task, plan.scan_cnf)
+    system, inner = cluster.router.resolve(task.block.path)
+    assert placement.data_local
+    assert placement.leaf.address in system.locations(inner)
+
+
+def test_place_excludes_named_workers(env):
+    cluster, plan = env
+    task = plan.tasks[0]
+    system, inner = cluster.router.resolve(task.block.path)
+    replicas = set(system.locations(inner))
+    replica_leaf_ids = [
+        leaf.worker_id for leaf in cluster.leaves if leaf.address in replicas
+    ]
+    placement = cluster.scheduler.place(task, plan.scan_cnf, exclude=replica_leaf_ids)
+    assert placement.leaf.worker_id not in replica_leaf_ids
+    assert not placement.data_local
+
+
+def test_place_skips_dead_leaves(env):
+    cluster, plan = env
+    task = plan.tasks[0]
+    system, inner = cluster.router.resolve(task.block.path)
+    replicas = set(system.locations(inner))
+    for leaf in cluster.leaves:
+        if leaf.address in replicas:
+            leaf.crash()
+    placement = cluster.scheduler.place(task, plan.scan_cnf)
+    assert placement.leaf.alive
+
+
+def test_no_live_leaf_raises(env):
+    cluster, plan = env
+    for leaf in cluster.leaves:
+        leaf.crash()
+    with pytest.raises(SchedulingError):
+        cluster.scheduler.place(plan.tasks[0], plan.scan_cnf)
+
+
+def test_round_robin_when_locality_disabled():
+    cluster = FeisuCluster(
+        FeisuConfig(datacenters=1, racks_per_datacenter=2, nodes_per_rack=4, locality_aware=False)
+    )
+    cluster.load_table(
+        "T", Schema.of(a=DataType.INT64), {"a": np.arange(4000)}, block_rows=500
+    )
+    plan = build_plan(analyze(parse("SELECT COUNT(*) FROM T"), cluster.catalog))
+    chosen = [cluster.scheduler.place(t, plan.scan_cnf).leaf.worker_id for t in plan.tasks]
+    assert len(set(chosen)) == len(cluster.leaves)  # spread round-robin
+
+
+def test_estimate_positive_and_larger_for_remote(env):
+    cluster, plan = env
+    task = plan.tasks[0]
+    local = cluster.scheduler.place(task, plan.scan_cnf)
+    system, inner = cluster.router.resolve(task.block.path)
+    replica_leaf_ids = [
+        leaf.worker_id for leaf in cluster.leaves if leaf.address in set(system.locations(inner))
+    ]
+    remote = cluster.scheduler.place(task, plan.scan_cnf, exclude=replica_leaf_ids)
+    assert 0 < local.estimate_s < remote.estimate_s
+
+
+def test_backup_deadline_floor(env):
+    cluster, _ = env
+    assert cluster.scheduler.backup_deadline(0.0001) == BACKUP_MIN_S
+    assert cluster.scheduler.backup_deadline(10.0) == BACKUP_FACTOR * 10.0
+
+
+def test_cross_datacenter_data_is_slower():
+    """Geo-distribution: scanning data homed in a remote datacenter pays
+    WAN transfer when no local replica exists (§I's cross-domain case)."""
+    cfg = FeisuConfig(datacenters=2, racks_per_datacenter=2, nodes_per_rack=4)
+    near = FeisuCluster(cfg)
+    far = FeisuCluster(cfg)
+    n = 4000
+    cols = {"a": np.arange(n)}
+    schema = Schema.of(a=DataType.INT64)
+    # "near": default placement spreads replicas; every block has a
+    # replica reachable without the WAN from some leaf.
+    near.load_table("T", schema, cols, storage="storage-a", block_rows=500, scale_factor=2000.0)
+    # "far": pin every block onto datacenter-1 nodes, then crash every
+    # dc-1 leaf so queries must pull the data across the WAN.
+    far.load_table("T", schema, cols, storage="storage-a", block_rows=500, scale_factor=2000.0)
+    for leaf in far.leaves:
+        if leaf.address.datacenter == 1:
+            leaf.crash()
+    # invalidate dc-0 replicas of far's blocks so only dc-1 copies remain
+    # (blocks with no dc-1 replica keep one dc-0 copy to stay readable)
+    table = far.catalog.get("T")
+    for ref in table.blocks:
+        system, inner = far.router.resolve(ref.path)
+        if not any(a.datacenter == 1 for a in system.locations(inner)):
+            continue
+        for addr in list(system.locations(inner)):
+            if addr.datacenter == 0:
+                system.drop_replica(inner, addr)
+    sql = "SELECT SUM(a) FROM T WHERE a >= 0"  # actually reads the column
+    r_near = near.query(sql)
+    r_far = far.query(sql)
+    assert r_far.rows() == r_near.rows()
+    t_near = r_near.stats["response_time_s"]
+    t_far = r_far.stats["response_time_s"]
+    assert t_far > t_near
+    # and the far cluster's WAN links actually carried the data
+    wan_far = sum(ln.bytes_carried for ln in far.net.links() if ln.name.startswith("wan"))
+    assert wan_far > 0

@@ -1,0 +1,148 @@
+"""Encoding round-trip tests, including hypothesis properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.columnar.encoding import (
+    BitPackedEncoding,
+    DictionaryEncoding,
+    PlainEncoding,
+    RunLengthEncoding,
+    choose_encoding,
+    codec_by_tag,
+    run_length_split,
+)
+from repro.columnar.schema import DataType
+from repro.errors import StorageError
+
+_CODECS = [PlainEncoding(), RunLengthEncoding(), DictionaryEncoding()]
+
+
+def _strings(values):
+    arr = np.empty(len(values), dtype=object)
+    for i, v in enumerate(values):
+        arr[i] = v
+    return arr
+
+
+@pytest.mark.parametrize("codec", _CODECS, ids=lambda c: c.name)
+def test_int_round_trip(codec):
+    arr = np.array([5, 5, 5, -3, 0, 2**40, -(2**40)], dtype=np.int64)
+    assert (codec.decode(codec.encode(arr), len(arr)) == arr).all()
+
+
+@pytest.mark.parametrize("codec", _CODECS, ids=lambda c: c.name)
+def test_float_round_trip(codec):
+    arr = np.array([0.0, -1.5, 3.25, 1e300, -1e-300], dtype=np.float64)
+    assert (codec.decode(codec.encode(arr), len(arr)) == arr).all()
+
+
+@pytest.mark.parametrize("codec", _CODECS, ids=lambda c: c.name)
+def test_string_round_trip(codec):
+    arr = _strings(["", "a", "aa", "a", "中文", "naïve", "a" * 500])
+    out = codec.decode(codec.encode(arr), len(arr))
+    assert list(out) == list(arr)
+
+
+@pytest.mark.parametrize("codec", _CODECS, ids=lambda c: c.name)
+def test_empty_round_trip(codec):
+    arr = np.array([], dtype=np.int64)
+    assert len(codec.decode(codec.encode(arr), 0)) == 0
+
+
+def test_bitpacked_round_trip():
+    codec = BitPackedEncoding()
+    arr = np.array([True, False, True, True, False, False, True, False, True], dtype=np.bool_)
+    assert (codec.decode(codec.encode(arr), len(arr)) == arr).all()
+
+
+def test_bitpacked_rejects_non_bool():
+    with pytest.raises(StorageError):
+        BitPackedEncoding().encode(np.arange(4))
+
+
+def test_codec_by_tag_round_trip():
+    for codec in _CODECS + [BitPackedEncoding()]:
+        assert codec_by_tag(codec.tag).name == codec.name
+    with pytest.raises(StorageError):
+        codec_by_tag(99)
+
+
+def test_run_length_split():
+    arr = np.array([1, 1, 2, 2, 2, 3], dtype=np.int64)
+    values, lengths = run_length_split(arr)
+    assert list(values) == [1, 2, 3]
+    assert list(lengths) == [2, 3, 1]
+
+
+def test_run_length_split_strings():
+    arr = _strings(["a", "a", "b"])
+    values, lengths = run_length_split(arr)
+    assert list(values) == ["a", "b"] and list(lengths) == [2, 1]
+
+
+def test_choose_encoding_bool_always_bitpacked():
+    arr = np.array([True, False], dtype=np.bool_)
+    assert choose_encoding(arr, DataType.BOOL).name == "bitpacked"
+
+
+def test_choose_encoding_prefers_rle_for_sorted_runs():
+    arr = np.repeat(np.arange(10, dtype=np.int64), 1000)
+    assert choose_encoding(arr, DataType.INT64).name == "rle"
+
+
+def test_choose_encoding_prefers_dictionary_for_low_cardinality_shuffled():
+    rng = np.random.default_rng(0)
+    arr = rng.integers(0, 3, 10_000).astype(np.int64) * 10**12
+    name = choose_encoding(arr, DataType.INT64).name
+    assert name in ("dictionary", "rle")
+    # Encoded size must actually beat plain.
+    codec = choose_encoding(arr, DataType.INT64)
+    assert len(codec.encode(arr)) < len(PlainEncoding().encode(arr))
+
+
+def test_choose_encoding_high_entropy_plain():
+    rng = np.random.default_rng(1)
+    arr = rng.integers(-(2**62), 2**62, 5000).astype(np.int64)
+    assert choose_encoding(arr, DataType.INT64).name == "plain"
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.integers(min_value=-(2**63), max_value=2**63 - 1), max_size=300))
+def test_property_int_round_trip_all_codecs(values):
+    arr = np.array(values, dtype=np.int64)
+    for codec in _CODECS:
+        out = codec.decode(codec.encode(arr), len(arr))
+        assert (out == arr).all()
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.text(max_size=40), max_size=120))
+def test_property_string_round_trip_all_codecs(values):
+    arr = _strings(values)
+    for codec in _CODECS:
+        out = codec.decode(codec.encode(arr), len(arr))
+        assert list(out) == values
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.booleans(), max_size=300))
+def test_property_bitpacked_round_trip(values):
+    arr = np.array(values, dtype=np.bool_)
+    codec = BitPackedEncoding()
+    assert (codec.decode(codec.encode(arr), len(arr)) == arr).all()
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(
+        st.floats(allow_nan=False, allow_infinity=True, width=64), max_size=200
+    )
+)
+def test_property_float_round_trip(values):
+    arr = np.array(values, dtype=np.float64)
+    for codec in _CODECS:
+        out = codec.decode(codec.encode(arr), len(arr))
+        assert (out == arr).all()

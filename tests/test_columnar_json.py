@@ -1,0 +1,65 @@
+"""Nested-record flattening (§III-A json support)."""
+
+import numpy as np
+import pytest
+
+from repro.columnar.json_flatten import flatten_record, flatten_records
+from repro.columnar.schema import DataType
+from repro.errors import AnalysisError
+
+
+def test_flatten_nested_objects():
+    flat = flatten_record({"a": {"b": {"c": 1}}, "d": "x"})
+    assert flat == {"a.b.c": 1, "d": "x"}
+
+
+def test_flatten_lists_join_to_string():
+    flat = flatten_record({"tags": ["a", "b", 3]})
+    assert flat == {"tags": "a,b,3"}
+
+
+def test_flatten_rejects_exotic_values():
+    with pytest.raises(AnalysisError):
+        flatten_record({"x": object()})
+
+
+def test_flatten_records_schema_inference():
+    schema, cols = flatten_records(
+        [
+            {"id": 1, "meta": {"ok": True}, "score": 1.5},
+            {"id": 2, "meta": {"ok": False}, "score": 2},
+        ]
+    )
+    assert schema.field("id").dtype is DataType.INT64
+    assert schema.field("meta.ok").dtype is DataType.BOOL
+    # int + float mixes widen to float
+    assert schema.field("score").dtype is DataType.FLOAT64
+    assert cols["score"].dtype == np.float64
+    assert list(cols["id"]) == [1, 2]
+
+
+def test_flatten_records_missing_keys_defaulted():
+    schema, cols = flatten_records([{"a": 1, "b": "x"}, {"a": 2}])
+    assert list(cols["b"]) == ["x", ""]
+
+
+def test_flatten_records_none_uses_type_default():
+    _schema, cols = flatten_records([{"a": 5}, {"a": None}])
+    assert list(cols["a"]) == [5, 0]
+
+
+def test_flatten_records_mixed_types_degrade_to_string():
+    schema, cols = flatten_records([{"v": 1}, {"v": "x"}])
+    assert schema.field("v").dtype is DataType.STRING
+    assert list(cols["v"]) == ["1", "x"]
+
+
+def test_flatten_records_column_order_is_first_seen():
+    schema, _ = flatten_records([{"b": 1}, {"a": 2, "b": 3}])
+    assert schema.names == ["b", "a"]
+
+
+def test_all_none_column_becomes_string():
+    schema, cols = flatten_records([{"x": None}])
+    assert schema.field("x").dtype is DataType.STRING
+    assert list(cols["x"]) == [""]

@@ -1,0 +1,101 @@
+"""Unit tests for the schema/type system."""
+
+import numpy as np
+import pytest
+
+from repro.columnar.schema import (
+    DataType,
+    Field,
+    Schema,
+    coerce_array,
+    common_type,
+    empty_columns,
+)
+from repro.errors import AnalysisError
+
+
+def test_datatype_numpy_mapping():
+    assert DataType.INT64.numpy_dtype == np.int64
+    assert DataType.FLOAT64.numpy_dtype == np.float64
+    assert DataType.BOOL.numpy_dtype == np.bool_
+    assert DataType.STRING.numpy_dtype == object
+
+
+def test_from_value_inference():
+    assert DataType.from_value(True) is DataType.BOOL  # bool before int!
+    assert DataType.from_value(3) is DataType.INT64
+    assert DataType.from_value(3.5) is DataType.FLOAT64
+    assert DataType.from_value("x") is DataType.STRING
+    with pytest.raises(AnalysisError):
+        DataType.from_value(object())
+
+
+def test_common_type_widening():
+    assert common_type(DataType.INT64, DataType.FLOAT64) is DataType.FLOAT64
+    assert common_type(DataType.INT64, DataType.INT64) is DataType.INT64
+    with pytest.raises(AnalysisError):
+        common_type(DataType.INT64, DataType.STRING)
+
+
+def test_schema_lookup_and_order():
+    s = Schema.of(a=DataType.INT64, b=DataType.STRING)
+    assert s.names == ["a", "b"]
+    assert s.field("b").dtype is DataType.STRING
+    assert s.index_of("a") == 0
+    assert "a" in s and "z" not in s
+    with pytest.raises(AnalysisError):
+        s.field("z")
+
+
+def test_schema_duplicate_rejected():
+    with pytest.raises(AnalysisError):
+        Schema([Field("x", DataType.INT64), Field("x", DataType.INT64)])
+
+
+def test_empty_field_name_rejected():
+    with pytest.raises(AnalysisError):
+        Field("", DataType.INT64)
+
+
+def test_schema_select_projection():
+    s = Schema.of(a=DataType.INT64, b=DataType.STRING, c=DataType.BOOL)
+    proj = s.select(["c", "a"])
+    assert proj.names == ["c", "a"]
+
+
+def test_schema_subset_relation():
+    big = Schema.of(a=DataType.INT64, b=DataType.STRING, c=DataType.FLOAT64)
+    small = Schema.of(b=DataType.STRING, a=DataType.INT64)
+    mismatched = Schema.of(a=DataType.STRING)
+    assert small.is_subset_of(big)
+    assert not big.is_subset_of(small)
+    assert not mismatched.is_subset_of(big)
+
+
+def test_schema_dict_round_trip():
+    s = Schema.of(a=DataType.INT64, b=DataType.STRING)
+    assert Schema.from_dict(s.to_dict()) == s
+
+
+def test_schema_equality_and_hash():
+    a = Schema.of(x=DataType.INT64)
+    b = Schema.of(x=DataType.INT64)
+    assert a == b and hash(a) == hash(b)
+    assert a != Schema.of(x=DataType.FLOAT64)
+
+
+def test_empty_columns_match_dtypes():
+    s = Schema.of(a=DataType.INT64, b=DataType.STRING)
+    cols = empty_columns(s)
+    assert cols["a"].dtype == np.int64 and len(cols["a"]) == 0
+    assert cols["b"].dtype == object
+
+
+def test_coerce_array_strings_stay_objects():
+    arr = coerce_array(["a", "bb"], DataType.STRING)
+    assert arr.dtype == object and list(arr) == ["a", "bb"]
+
+
+def test_coerce_array_numeric():
+    arr = coerce_array([1, 2, 3], DataType.INT64)
+    assert arr.dtype == np.int64

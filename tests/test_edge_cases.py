@@ -1,0 +1,201 @@
+"""Edge-case coverage through the full stack."""
+
+import numpy as np
+import pytest
+
+from repro import FeisuCluster, FeisuConfig, Schema, DataType
+from repro.errors import AnalysisError
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    cluster = FeisuCluster(FeisuConfig(datacenters=1, racks_per_datacenter=2, nodes_per_rack=4))
+    rng = np.random.default_rng(8)
+    n = 2000
+    provinces = np.empty(n, dtype=object)
+    for i in range(n):
+        provinces[i] = ["beijing", "shanghai", "xian"][i % 3]
+    cluster.load_table(
+        "T",
+        Schema.of(
+            a=DataType.INT64,
+            b=DataType.FLOAT64,
+            p=DataType.STRING,
+            ok=DataType.BOOL,
+        ),
+        {
+            "a": rng.integers(-5, 6, n),
+            "b": rng.normal(0, 1, n),
+            "p": provinces,
+            "ok": rng.integers(0, 2, n).astype(bool),
+        },
+        storage="storage-a",
+        block_rows=512,
+    )
+    empty_schema = Schema.of(x=DataType.INT64, y=DataType.STRING)
+    cluster.load_table(
+        "EMPTY",
+        empty_schema,
+        {"x": np.empty(0, dtype=np.int64), "y": np.empty(0, dtype=object)},
+        storage="storage-a",
+    )
+    cluster._cols = {
+        "a": None,  # populated lazily below if needed
+    }
+    return cluster
+
+
+def test_empty_table_count(cluster):
+    assert cluster.query("SELECT COUNT(*) FROM EMPTY").rows() == [(0,)]
+
+
+def test_empty_table_projection(cluster):
+    r = cluster.query("SELECT x, y FROM EMPTY")
+    assert r.num_rows == 0 and r.columns == ["x", "y"]
+
+
+def test_empty_table_group_by(cluster):
+    r = cluster.query("SELECT y, COUNT(*) FROM EMPTY GROUP BY y")
+    assert r.num_rows == 0
+
+
+def test_empty_table_min_max_defaults(cluster):
+    r = cluster.query("SELECT MIN(x) lo, MAX(x) hi, SUM(x) s FROM EMPTY")
+    assert r.num_rows == 1  # global aggregate always yields one row
+    assert r.rows()[0] == (0, 0, 0)  # engine NULL-defaults for INT64
+
+
+def test_limit_zero(cluster):
+    assert cluster.query("SELECT a FROM T LIMIT 0").num_rows == 0
+
+
+def test_order_by_string_column(cluster):
+    r = cluster.query("SELECT p, COUNT(*) c FROM T GROUP BY p ORDER BY p")
+    labels = [row[0] for row in r.rows()]
+    assert labels == sorted(labels)
+
+
+def test_multi_key_group_by_mixed_types(cluster):
+    r = cluster.query(
+        "SELECT p, ok, COUNT(*) c FROM T GROUP BY p, ok ORDER BY p, c"
+    )
+    assert r.num_rows == 6  # 3 provinces x 2 bool values
+    total = cluster.query("SELECT COUNT(*) FROM T").rows()[0][0]
+    assert sum(row[2] for row in r.rows()) == total
+
+
+def test_boolean_column_predicate(cluster):
+    yes = cluster.query("SELECT COUNT(*) FROM T WHERE ok = TRUE").rows()[0][0]
+    no = cluster.query("SELECT COUNT(*) FROM T WHERE ok = FALSE").rows()[0][0]
+    assert yes + no == 2000
+
+
+def test_within_end_to_end(cluster):
+    # WITHIN folds into grouping: equivalent to GROUP BY p.
+    within = cluster.query("SELECT SUM(b) WITHIN p FROM T")
+    grouped = cluster.query("SELECT SUM(b) s FROM T GROUP BY p")
+    assert sorted(round(r[0], 9) for r in within.rows()) == sorted(
+        round(r[0], 9) for r in grouped.rows()
+    )
+
+
+def test_left_outer_join_through_cluster(cluster):
+    dims = {
+        "p": np.array(["beijing", "shanghai"], dtype=object),  # xian missing
+        "region": np.array(["north", "east"], dtype=object),
+    }
+    cluster.load_table(
+        "DIM", Schema.of(p=DataType.STRING, region=DataType.STRING), dims, storage="storage-b"
+    )
+    r = cluster.query(
+        "SELECT region, COUNT(*) c FROM T LEFT OUTER JOIN DIM ON T.p = DIM.p "
+        "GROUP BY region ORDER BY region"
+    )
+    rows = dict(r.rows())
+    assert rows[""] > 0  # unmatched xian rows pad with the string default
+    assert rows["north"] > 0 and rows["east"] > 0
+    assert sum(rows.values()) == 2000
+
+
+def test_negative_literal_filters(cluster):
+    r = cluster.query("SELECT COUNT(*) FROM T WHERE a >= -2 AND a <= 2")
+    assert 0 < r.rows()[0][0] < 2000
+
+
+def test_having_on_alias_expression(cluster):
+    r = cluster.query(
+        "SELECT p, COUNT(*) AS c FROM T GROUP BY p HAVING COUNT(*) > 600 ORDER BY c DESC"
+    )
+    assert all(row[1] > 600 for row in r.rows())
+
+
+def test_arithmetic_projection_distribution(cluster):
+    r = cluster.query("SELECT a, a * a AS sq FROM T WHERE a = -3 LIMIT 3")
+    assert all(row[1] == 9 for row in r.rows())
+
+
+def test_division_by_zero_yields_non_crash(cluster):
+    # a spans [-5, 5] so a/a hits 0/0; engine must not crash.
+    r = cluster.query("SELECT COUNT(*) FROM T WHERE a / 2 > 1")
+    expected = cluster.query("SELECT COUNT(*) FROM T WHERE a > 2")
+    assert r.rows() == expected.rows()
+
+
+def test_contains_empty_string_matches_all(cluster):
+    r = cluster.query("SELECT COUNT(*) FROM T WHERE p CONTAINS ''")
+    assert r.rows()[0][0] == 2000
+
+
+def test_mixed_and_or_not_nesting(cluster):
+    r = cluster.query(
+        "SELECT COUNT(*) FROM T WHERE NOT (a > 0 AND (p = 'xian' OR ok = TRUE)) AND b < 10"
+    )
+    assert 0 <= r.rows()[0][0] <= 2000
+
+
+def test_group_by_expression(cluster):
+    r = cluster.query("SELECT a % 2 AS parity, COUNT(*) c FROM T GROUP BY parity ORDER BY parity")
+    # a ranges over [-5,5]: parity takes values -1, 0, 1 under C-style %
+    assert 2 <= r.num_rows <= 3
+    total = sum(row[1] for row in r.rows())
+    assert total == 2000
+
+
+def test_query_unknown_table_fails_cleanly(cluster):
+    from repro.errors import StorageError
+
+    with pytest.raises((AnalysisError, StorageError)):
+        cluster.query("SELECT COUNT(*) FROM Nope")
+
+
+def test_order_by_unselected_aggregate(cluster):
+    r = cluster.query("SELECT p FROM T GROUP BY p ORDER BY COUNT(*) DESC, p LIMIT 2")
+    counts = cluster.query("SELECT p, COUNT(*) c FROM T GROUP BY p ORDER BY c DESC, p")
+    assert [row[0] for row in r.rows()] == [row[0] for row in counts.rows()[:2]]
+
+
+def test_order_by_unselected_sum(cluster):
+    r = cluster.query("SELECT p FROM T GROUP BY p ORDER BY SUM(b) DESC LIMIT 1")
+    best = cluster.query("SELECT p, SUM(b) s FROM T GROUP BY p ORDER BY s DESC LIMIT 1")
+    assert r.rows()[0][0] == best.rows()[0][0]
+
+
+def test_duplicate_aggregate_in_select_and_order(cluster):
+    r = cluster.query(
+        "SELECT p, COUNT(*) AS n FROM T GROUP BY p ORDER BY COUNT(*) DESC, p LIMIT 2"
+    )
+    assert r.rows()[0][1] >= r.rows()[1][1]
+
+
+def test_finalize_error_does_not_strand_client(cluster, monkeypatch):
+    """Regression: a failure inside result finalization must resolve the
+    job with the error, not leave the client stepping heartbeats forever."""
+    import repro.cluster.master as master_mod
+
+    def boom(*args, **kwargs):
+        raise RuntimeError("synthetic finalize failure")
+
+    monkeypatch.setattr(master_mod, "finalize", boom)
+    job = cluster.query_job("SELECT COUNT(*) FROM T")
+    assert job.error is not None
+    assert "synthetic finalize failure" in str(job.error)

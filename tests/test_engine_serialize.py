@@ -1,0 +1,126 @@
+"""Task-result serialization (the §V-C spill format)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.aggregates import partial_aggregate
+from repro.engine.executor import TaskExecutionReport, TaskResult
+from repro.engine.serialize import deserialize_result, serialize_result
+from repro.errors import ExecutionError
+from repro.planner.expressions import Frame
+
+
+def _report(task_id="t0"):
+    return TaskExecutionReport(
+        task_id=task_id,
+        rows_in_block=100,
+        rows_matched=40,
+        io_bytes=1234,
+        io_seeks=1,
+        cpu_ops=500.0,
+        index_full_cover=True,
+        index_clause_hits=2,
+        index_clause_misses=1,
+        btree_clauses=0,
+        scale_factor=1500.0,
+    )
+
+
+def test_frame_round_trip():
+    s = np.empty(3, dtype=object)
+    s[:] = ["a", "", "中文"]
+    frame = Frame.from_columns(
+        {
+            "i": np.array([1, -2, 3], dtype=np.int64),
+            "f": np.array([0.5, -1.5, 2.0]),
+            "s": s,
+            "b": np.array([True, False, True]),
+        }
+    )
+    result = TaskResult("t0", frame=frame, report=_report())
+    back = deserialize_result(serialize_result(result))
+    assert back.task_id == "t0"
+    assert back.frame.num_rows == 3
+    for col in frame.columns:
+        assert list(back.frame.column(col)) == list(frame.column(col))
+
+
+def test_columnless_frame_round_trip():
+    result = TaskResult("t0", frame=Frame({}, 17), report=_report())
+    back = deserialize_result(serialize_result(result))
+    assert back.frame.num_rows == 17 and back.frame.columns == {}
+
+
+def test_partial_round_trip_all_aggregates():
+    keys = [np.array(["x", "y", "x"], dtype=object)]
+    vals = np.array([1.0, 2.0, 3.0])
+    partial = partial_aggregate(
+        keys, ["COUNT", "SUM", "AVG", "MIN", "MAX"], [None, vals, vals, vals, vals], 3
+    )
+    result = TaskResult("t1", partial=partial, report=_report("t1"))
+    back = deserialize_result(serialize_result(result))
+    assert set(back.partial.groups) == {("x",), ("y",)}
+    orig = [s.final() for s in partial.groups[("x",)]]
+    copy = [s.final() for s in back.partial.groups[("x",)]]
+    assert copy == pytest.approx(orig)
+
+
+def test_partial_int_sum_stays_int():
+    partial = partial_aggregate(
+        [], ["SUM"], [np.array([1, 2, 3], dtype=np.int64)], 3
+    )
+    result = TaskResult("t2", partial=partial, report=_report("t2"))
+    back = deserialize_result(serialize_result(result))
+    value = back.partial.groups[()][0].final()
+    assert value == 6 and isinstance(value, int)
+
+
+def test_restored_partials_merge_with_live_ones():
+    a = partial_aggregate([np.array([1, 2])], ["COUNT"], [None], 2)
+    b = partial_aggregate([np.array([2, 2])], ["COUNT"], [None], 2)
+    restored = deserialize_result(
+        serialize_result(TaskResult("t", partial=b, report=_report()))
+    ).partial
+    a.merge(restored)
+    assert a.groups[(2,)][0].final() == 3
+
+
+def test_report_survives():
+    frame = Frame.from_columns({"x": np.array([1])})
+    back = deserialize_result(serialize_result(TaskResult("t9", frame=frame, report=_report("t9"))))
+    assert back.report.scale_factor == 1500.0
+    assert back.report.index_full_cover
+    assert back.report.io_bytes == 1234
+
+
+def test_empty_payload_rejected():
+    with pytest.raises(ExecutionError):
+        serialize_result(TaskResult("t", report=_report()))
+
+
+def test_unknown_tag_rejected():
+    frame = Frame.from_columns({"x": np.array([1])})
+    payload = bytearray(serialize_result(TaskResult("t", frame=frame, report=_report())))
+    payload[0] = 0x7F
+    with pytest.raises(ExecutionError, match="tag"):
+        deserialize_result(bytes(payload))
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(st.integers(-(2**40), 2**40), max_size=60),
+    st.lists(st.text(max_size=12), max_size=60),
+)
+def test_property_frame_round_trip(ints, strs):
+    n = min(len(ints), len(strs))
+    s = np.empty(n, dtype=object)
+    for i in range(n):
+        s[i] = strs[i]
+    frame = Frame.from_columns({"i": np.array(ints[:n], dtype=np.int64), "s": s})
+    back = deserialize_result(
+        serialize_result(TaskResult("t", frame=frame, report=_report()))
+    )
+    assert list(back.frame.column("i")) == ints[:n]
+    assert list(back.frame.column("s")) == strs[:n]

@@ -1,0 +1,110 @@
+"""BitVector algebra and RLE compression."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import IndexError_
+from repro.index.bitmap import BitVector, rle_compress, rle_decompress
+
+
+def _bv(bits):
+    return BitVector.from_bool_array(np.array(bits, dtype=bool))
+
+
+def test_round_trip_bool_array():
+    bits = [True, False, True, True, False, False, False, True, True, False]
+    assert list(_bv(bits).to_bool_array()) == bits
+
+
+def test_count_and_any():
+    assert _bv([1, 0, 1]).count() == 2
+    assert _bv([0, 0]).count() == 0
+    assert not _bv([0, 0]).any()
+    assert _bv([0, 1]).any()
+
+
+def test_zeros_ones():
+    assert BitVector.zeros(13).count() == 0
+    ones = BitVector.ones(13)
+    assert ones.count() == 13
+    assert ones.length == 13
+
+
+def test_and_or_not():
+    a, b = _bv([1, 1, 0, 0, 1]), _bv([1, 0, 1, 0, 0])
+    assert list((a & b).to_bool_array()) == [1, 0, 0, 0, 0]
+    assert list((a | b).to_bool_array()) == [1, 1, 1, 0, 1]
+    assert list((~a).to_bool_array()) == [0, 0, 1, 1, 0]
+
+
+def test_not_masks_padding_bits():
+    bv = ~BitVector.zeros(3)
+    assert bv.count() == 3  # not 8
+
+
+def test_double_negation_identity():
+    a = _bv([1, 0, 1, 1, 0, 1, 0])
+    assert ~~a == a
+
+
+def test_length_mismatch_rejected():
+    with pytest.raises(IndexError_):
+        _ = _bv([1, 0]) & _bv([1, 0, 1])
+
+
+def test_equality():
+    assert _bv([1, 0]) == _bv([1, 0])
+    assert _bv([1, 0]) != _bv([0, 1])
+
+
+def test_rle_round_trip_sparse():
+    bits = [False] * 1000 + [True] * 8 + [False] * 1000
+    bv = _bv(bits)
+    payload, length = rle_compress(bv)
+    assert length == len(bits)
+    assert len(payload) < bv.nbytes  # long runs compress
+    back = rle_decompress(payload, length)
+    assert back == bv
+
+
+def test_rle_round_trip_empty():
+    bv = BitVector.zeros(0)
+    payload, length = rle_compress(bv)
+    assert rle_decompress(payload, 0).length == 0
+
+
+def test_rle_corrupt_payload_rejected():
+    bv = _bv([1, 0, 1])
+    payload, _ = rle_compress(bv)
+    with pytest.raises(IndexError_, match="corrupt"):
+        rle_decompress(payload, 1000)
+
+
+def test_requires_uint8_buffer():
+    with pytest.raises(IndexError_):
+        BitVector(np.zeros(2, dtype=np.int64), 16)
+
+
+@settings(max_examples=80, deadline=None)
+@given(st.lists(st.booleans(), max_size=500))
+def test_property_rle_round_trip(bits):
+    bv = _bv(bits) if bits else BitVector.zeros(0)
+    payload, length = rle_compress(bv)
+    assert rle_decompress(payload, length) == bv
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.booleans(), min_size=1, max_size=200), st.lists(st.booleans(), min_size=1, max_size=200))
+def test_property_de_morgan(a_bits, b_bits):
+    n = min(len(a_bits), len(b_bits))
+    a, b = _bv(a_bits[:n]), _bv(b_bits[:n])
+    assert ~(a & b) == (~a | ~b)
+    assert ~(a | b) == (~a & ~b)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.booleans(), min_size=1, max_size=300))
+def test_property_count_matches_numpy(bits):
+    assert _bv(bits).count() == int(np.sum(bits))

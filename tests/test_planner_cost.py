@@ -1,0 +1,87 @@
+"""Cost model unit tests (the §III-B cost-based planner's arithmetic)."""
+
+import pytest
+
+from repro.columnar.table import BlockRef
+from repro.planner.cnf import to_cnf
+from repro.planner.cost import (
+    OPS_PER_COMPARISON,
+    OPS_PER_CONTAINS,
+    CostModel,
+)
+from repro.planner.physical import ScanTask
+from repro.sql.parser import parse_expression
+
+
+def _task(num_rows=10_000, scale=1.0, col_bytes=8_000):
+    ref = BlockRef(
+        block_id="t.b0",
+        path="/hdfs/t/b0",
+        num_rows=num_rows,
+        encoded_bytes=col_bytes * 2,
+        column_bytes=(("a", col_bytes), ("b", col_bytes)),
+        scale_factor=scale,
+    )
+    return ScanTask("p/t0", "T", "T", ref, ("a", "b"))
+
+
+def test_predicate_ops_weighting():
+    model = CostModel()
+    cheap = model.predicate_ops_per_row(to_cnf(parse_expression("a > 1")))
+    heavy = model.predicate_ops_per_row(to_cnf(parse_expression("s CONTAINS 'x'")))
+    assert cheap == OPS_PER_COMPARISON
+    assert heavy == OPS_PER_CONTAINS
+    both = model.predicate_ops_per_row(to_cnf(parse_expression("a > 1 AND s CONTAINS 'x'")))
+    assert both == OPS_PER_COMPARISON + OPS_PER_CONTAINS
+
+
+def test_scan_io_scales_with_modeled_bytes():
+    model = CostModel()
+    small = model.scan_io_seconds(_task(scale=1.0))
+    big = model.scan_io_seconds(_task(scale=100.0))
+    # transfer components scale exactly with the modeled bytes; the seek
+    # charge is constant
+    assert big - model.disk_seek_s == pytest.approx((small - model.disk_seek_s) * 100)
+    assert big > small
+
+
+def test_bandwidth_factor_slows_io():
+    model = CostModel()
+    normal = model.scan_io_seconds(_task(scale=100.0), bandwidth_factor=1.0)
+    throttled = model.scan_io_seconds(_task(scale=100.0), bandwidth_factor=0.5)
+    assert throttled == pytest.approx(
+        model.disk_seek_s + (normal - model.disk_seek_s) * 2
+    )
+
+
+def test_index_covered_much_cheaper():
+    model = CostModel()
+    cnf = to_cnf(parse_expression("a > 1 AND b < 2"))
+    task = _task(scale=1000.0)
+    cold = model.task_seconds(task, cnf, index_covered=False)
+    covered = model.task_seconds(task, cnf, index_covered=True)
+    assert covered < cold / 20
+
+
+def test_extra_latency_added_once():
+    model = CostModel()
+    cnf = to_cnf(parse_expression("a > 1"))
+    base = model.task_seconds(_task(), cnf)
+    cold_store = model.task_seconds(_task(), cnf, extra_latency_s=0.25)
+    assert cold_store == pytest.approx(base + 0.25)
+
+
+def test_index_cost_grows_with_clauses_and_rows():
+    model = CostModel()
+    one = model.index_cpu_seconds(_task(num_rows=1000), 1)
+    many = model.index_cpu_seconds(_task(num_rows=1000), 4)
+    bigger = model.index_cpu_seconds(_task(num_rows=4000), 1)
+    assert many == pytest.approx(one * 4)
+    assert bigger == pytest.approx(one * 4)
+
+
+def test_cpu_seconds_include_decode_and_filter():
+    model = CostModel()
+    no_filter = model.scan_cpu_seconds(_task(), to_cnf(None))
+    filtered = model.scan_cpu_seconds(_task(), to_cnf(parse_expression("a > 1")))
+    assert 0 < no_filter < filtered

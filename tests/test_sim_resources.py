@@ -1,0 +1,123 @@
+"""Unit tests for device cost models and counted resources."""
+
+import pytest
+
+from repro.sim.events import SimulationError, Simulator
+from repro.sim.resources import Cpu, Device, Disk, Nic, Resource, Ssd
+
+
+def test_device_serializes_fifo():
+    sim = Simulator()
+    dev = Device(sim, "d")
+    done = []
+    dev.service(2.0).add_callback(lambda e: done.append(sim.now))
+    dev.service(3.0).add_callback(lambda e: done.append(sim.now))
+    sim.run()
+    assert done == [2.0, 5.0]  # second request queues behind the first
+
+
+def test_device_idle_gap_not_charged():
+    sim = Simulator()
+    dev = Device(sim, "d")
+    dev.service(1.0)
+    ends = []
+    # A request issued at t=10, after the device went idle, starts fresh.
+    sim.schedule(10.0, lambda: dev.service(1.0).add_callback(lambda e: ends.append(sim.now)))
+    sim.run()
+    assert ends == [11.0]
+
+
+def test_device_negative_duration_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        Device(sim, "d").service(-1.0)
+
+
+def test_disk_read_time_includes_seek_and_bandwidth():
+    sim = Simulator()
+    disk = Disk(sim, bandwidth_bps=100.0, seek_s=0.5)
+    assert disk.read_time(200) == pytest.approx(0.5 + 2.0)
+    ev = disk.read(200)
+    sim.run_until_complete(ev)
+    assert sim.now == pytest.approx(2.5)
+    assert disk.bytes_read == 200
+
+
+def test_ssd_is_faster_than_disk():
+    sim = Simulator()
+    disk, ssd = Disk(sim), Ssd(sim)
+    assert ssd.read_time(10**7) < disk.read_time(10**7)
+
+
+def test_nic_transmit_time():
+    sim = Simulator()
+    nic = Nic(sim, bandwidth_bps=1000.0, latency_s=0.1)
+    assert nic.transmit_time(500) == pytest.approx(0.6)
+
+
+def test_cpu_lanes_run_in_parallel():
+    sim = Simulator()
+    cpu = Cpu(sim, cores=2, ops_per_sec=100.0)
+    done = []
+    cpu.compute(100).add_callback(lambda e: done.append(sim.now))
+    cpu.compute(100).add_callback(lambda e: done.append(sim.now))
+    cpu.compute(100).add_callback(lambda e: done.append(sim.now))
+    sim.run()
+    # two lanes: first two finish at 1.0, third queues to 2.0
+    assert done == [1.0, 1.0, 2.0]
+    assert cpu.ops_executed == 300
+
+
+def test_cpu_requires_at_least_one_core():
+    with pytest.raises(SimulationError):
+        Cpu(Simulator(), cores=0)
+
+
+def test_utilization_tracks_busy_fraction():
+    sim = Simulator()
+    dev = Device(sim, "d")
+    dev.service(1.0)
+    sim.run()
+    sim.schedule(1.0, lambda: None)
+    sim.run()
+    assert dev.utilization() == pytest.approx(0.5)
+
+
+def test_resource_grants_up_to_capacity():
+    sim = Simulator()
+    res = Resource(sim, capacity=2)
+    a, b, c = res.request(), res.request(), res.request()
+    sim.run()
+    assert a.triggered and b.triggered and not c.triggered
+    assert res.queue_length == 1
+    res.release()
+    sim.run()
+    assert c.triggered
+
+
+def test_resource_release_on_idle_rejected():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    with pytest.raises(SimulationError):
+        res.release()
+
+
+def test_resource_resize_grants_waiters():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    res.request()
+    waiting = res.request()
+    sim.run()
+    assert not waiting.triggered
+    res.resize(2)
+    sim.run()
+    assert waiting.triggered
+
+
+def test_resource_invalid_capacity():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        Resource(sim, 0)
+    res = Resource(sim, 1)
+    with pytest.raises(SimulationError):
+        res.resize(0)

@@ -1,0 +1,206 @@
+"""Semantic analysis: binding, typing, grouping rules."""
+
+import numpy as np
+import pytest
+
+from repro.columnar.schema import DataType, Schema
+from repro.columnar.table import Catalog, Table
+from repro.errors import AnalysisError
+from repro.sql.analyzer import analyze
+from repro.sql.parser import parse
+
+
+@pytest.fixture()
+def catalog():
+    cat = Catalog()
+    cat.register(
+        Table(
+            "T",
+            Schema.of(
+                a=DataType.INT64,
+                b=DataType.FLOAT64,
+                s=DataType.STRING,
+                flag=DataType.BOOL,
+            ),
+        )
+    )
+    cat.register(Table("D", Schema.of(a=DataType.INT64, label=DataType.STRING)))
+    cat.register(Table("J", Schema.of(k=DataType.INT64, v=DataType.FLOAT64)))
+    nested = Table("L", Schema.of(**{"x": DataType.INT64}))
+    cat.register(nested)
+    return cat
+
+
+def _an(catalog, sql):
+    return analyze(parse(sql), catalog)
+
+
+def test_simple_binding_and_output_schema(catalog):
+    a = _an(catalog, "SELECT a, s FROM T")
+    assert a.output_names == ["a", "s"]
+    assert a.output_schema.field("a").dtype is DataType.INT64
+    assert a.output_schema.field("s").dtype is DataType.STRING
+    assert not a.is_aggregate
+
+
+def test_unknown_table(catalog):
+    with pytest.raises(Exception):
+        _an(catalog, "SELECT a FROM Missing")
+
+
+def test_unknown_column(catalog):
+    with pytest.raises(AnalysisError, match="unknown column"):
+        _an(catalog, "SELECT nope FROM T")
+
+
+def test_ambiguous_column_across_tables(catalog):
+    with pytest.raises(AnalysisError, match="ambiguous"):
+        _an(catalog, "SELECT a FROM T JOIN D ON T.a = D.a")
+
+
+def test_qualified_disambiguation(catalog):
+    a = _an(catalog, "SELECT T.a FROM T JOIN D ON T.a = D.a")
+    res = a.resolve(a.output_exprs[0])
+    assert res.binding == "T"
+
+
+def test_star_expansion_single_table(catalog):
+    a = _an(catalog, "SELECT * FROM T")
+    assert a.output_names == ["a", "b", "s", "flag"]
+
+
+def test_star_expansion_join_qualifies(catalog):
+    a = _an(catalog, "SELECT * FROM T JOIN J ON a = k")
+    assert "T.a" in a.output_names and "J.k" in a.output_names
+
+
+def test_star_must_be_alone(catalog):
+    with pytest.raises(AnalysisError, match="only select item"):
+        _an(catalog, "SELECT *, a FROM T")
+
+
+def test_duplicate_alias_rejected(catalog):
+    with pytest.raises(AnalysisError, match="duplicate output"):
+        _an(catalog, "SELECT a AS x, b AS x FROM T")
+
+
+def test_duplicate_table_binding_rejected(catalog):
+    with pytest.raises(AnalysisError, match="duplicate table binding"):
+        _an(catalog, "SELECT T.a FROM T JOIN T ON T.a = T.a")
+
+
+def test_aggregate_output_types(catalog):
+    a = _an(catalog, "SELECT COUNT(*) c, SUM(a) s, AVG(a) g, MIN(b) lo, MAX(s) hi FROM T")
+    t = {n: f.dtype for n, f in zip(a.output_names, a.output_schema)}
+    assert t["c"] is DataType.INT64
+    assert t["s"] is DataType.INT64
+    assert t["g"] is DataType.FLOAT64
+    assert t["lo"] is DataType.FLOAT64
+    assert t["hi"] is DataType.STRING
+
+
+def test_sum_requires_numeric(catalog):
+    with pytest.raises(AnalysisError, match="numeric"):
+        _an(catalog, "SELECT SUM(s) FROM T")
+
+
+def test_ungrouped_column_with_aggregate_rejected(catalog):
+    with pytest.raises(AnalysisError, match="neither aggregated nor"):
+        _an(catalog, "SELECT a, COUNT(*) FROM T")
+
+
+def test_group_by_makes_column_legal(catalog):
+    a = _an(catalog, "SELECT a, COUNT(*) FROM T GROUP BY a")
+    assert a.is_aggregate and len(a.group_keys) == 1
+
+
+def test_group_by_alias(catalog):
+    a = _an(catalog, "SELECT a + 1 AS bucket, COUNT(*) FROM T GROUP BY bucket")
+    assert len(a.group_keys) == 1
+
+
+def test_within_folds_into_group_keys(catalog):
+    a = _an(catalog, "SELECT SUM(b) WITHIN a FROM T")
+    assert len(a.group_keys) == 1
+    assert a.is_aggregate
+
+
+def test_nested_aggregate_rejected(catalog):
+    with pytest.raises(AnalysisError, match="nested aggregate"):
+        _an(catalog, "SELECT SUM(COUNT(*)) FROM T")  # noqa: parsing allows, analysis rejects
+
+
+def test_aggregate_in_where_rejected(catalog):
+    with pytest.raises(AnalysisError, match="HAVING"):
+        _an(catalog, "SELECT a FROM T WHERE COUNT(*) > 1")
+
+
+def test_having_without_grouping_rejected(catalog):
+    with pytest.raises(AnalysisError, match="HAVING requires"):
+        _an(catalog, "SELECT a FROM T HAVING a > 1")
+
+
+def test_having_aggregate_collected(catalog):
+    a = _an(catalog, "SELECT a FROM T GROUP BY a HAVING SUM(b) > 1")
+    assert any(agg.func == "SUM" for agg in a.aggregates)
+
+
+def test_where_must_be_boolean(catalog):
+    with pytest.raises(AnalysisError, match="boolean"):
+        _an(catalog, "SELECT a FROM T WHERE a + 1")
+
+
+def test_contains_requires_strings(catalog):
+    with pytest.raises(AnalysisError, match="CONTAINS"):
+        _an(catalog, "SELECT a FROM T WHERE a CONTAINS 'x'")
+
+
+def test_incomparable_types_rejected(catalog):
+    with pytest.raises(AnalysisError):
+        _an(catalog, "SELECT a FROM T WHERE s > 5")
+
+
+def test_arithmetic_type_widening(catalog):
+    a = _an(catalog, "SELECT a + b AS x FROM T")
+    assert a.output_schema.field("x").dtype is DataType.FLOAT64
+
+
+def test_division_always_float(catalog):
+    a = _an(catalog, "SELECT a / a AS x FROM T")
+    assert a.output_schema.field("x").dtype is DataType.FLOAT64
+
+
+def test_join_condition_must_be_boolean(catalog):
+    with pytest.raises(AnalysisError, match="boolean"):
+        _an(catalog, "SELECT T.a FROM T JOIN J ON k")  # k is INT64
+
+
+def test_order_by_alias_and_unknown(catalog):
+    _an(catalog, "SELECT a AS x FROM T ORDER BY x")
+    with pytest.raises(AnalysisError, match="unknown column"):
+        _an(catalog, "SELECT a FROM T ORDER BY nonexistent")
+
+
+def test_columns_of_projection_pushdown(catalog):
+    a = _an(catalog, "SELECT a FROM T WHERE b > 1 ORDER BY s")
+    assert a.columns_of("T") == ["a", "b", "s"]
+
+
+def test_scalar_function_typing(catalog):
+    a = _an(catalog, "SELECT LENGTH(s) n, UPPER(s) u, ABS(b) v FROM T")
+    t = {n: f.dtype for n, f in zip(a.output_names, a.output_schema)}
+    assert t["n"] is DataType.INT64
+    assert t["u"] is DataType.STRING
+    assert t["v"] is DataType.FLOAT64
+
+
+def test_scalar_function_wrong_arg_type(catalog):
+    with pytest.raises(AnalysisError):
+        _an(catalog, "SELECT LENGTH(a) FROM T")
+    with pytest.raises(AnalysisError):
+        _an(catalog, "SELECT ABS(s) FROM T")
+
+
+def test_not_requires_boolean(catalog):
+    with pytest.raises(AnalysisError, match="NOT"):
+        _an(catalog, "SELECT a FROM T WHERE NOT a")

@@ -1,0 +1,116 @@
+"""Formatter: canonical SQL text, parse/format round trips."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sql.formatter import format_expression, format_query
+from repro.sql.parser import parse, parse_expression
+
+
+def _round_trip(sql: str) -> None:
+    query = parse(sql)
+    assert parse(format_query(query)) == query
+
+
+def test_simple_select():
+    q = parse("SELECT a, b AS x FROM t")
+    assert format_query(q) == "SELECT a, b AS x FROM t"
+
+
+def test_full_clause_ordering():
+    sql = (
+        "SELECT c2, COUNT(*) AS n FROM T WHERE c1 > 5 "
+        "GROUP BY c2 HAVING COUNT(*) > 1 ORDER BY n DESC, c2 LIMIT 3"
+    )
+    text = format_query(parse(sql))
+    assert text.index("WHERE") < text.index("GROUP BY") < text.index("HAVING")
+    assert text.index("HAVING") < text.index("ORDER BY") < text.index("LIMIT")
+    _round_trip(sql)
+
+
+def test_joins_round_trip():
+    _round_trip(
+        "SELECT t.a FROM t JOIN u ON t.a = u.a LEFT OUTER JOIN v ON t.a = v.a CROSS JOIN w"
+    )
+
+
+def test_within_and_contains():
+    _round_trip("SELECT SUM(x) WITHIN y FROM t WHERE s CONTAINS 'needle'")
+
+
+def test_string_escaping():
+    q = parse("SELECT a FROM t WHERE s = 'it''s'")
+    text = format_query(q)
+    assert "'it''s'" in text
+    _round_trip("SELECT a FROM t WHERE s = 'it''s'")
+
+
+def test_boolean_literals():
+    assert format_expression(parse_expression("TRUE")) == "TRUE"
+    _round_trip("SELECT a FROM t WHERE flag = FALSE")
+
+
+def test_minimal_parentheses():
+    text = format_expression(parse_expression("a + b * c"))
+    assert text == "a + b * c"
+    text2 = format_expression(parse_expression("(a + b) * c"))
+    assert text2 == "(a + b) * c"
+
+
+def test_left_associativity_preserved():
+    e = parse_expression("a - b - c")
+    assert parse_expression(format_expression(e)) == e
+    e2 = parse_expression("a - (b - c)")
+    assert parse_expression(format_expression(e2)) == e2
+    assert format_expression(e) != format_expression(e2)
+
+
+def test_not_precedence():
+    e = parse_expression("NOT (a > 1 AND b > 2)")
+    assert parse_expression(format_expression(e)) == e
+
+
+def test_indent_mode():
+    text = format_query(parse("SELECT a FROM t WHERE a > 1 LIMIT 2"), indent=True)
+    assert text.splitlines() == ["SELECT a", "FROM t", "WHERE a > 1", "LIMIT 2"]
+
+
+def test_star_and_count_star():
+    _round_trip("SELECT * FROM t")
+    _round_trip("SELECT COUNT(*) FROM t")
+
+
+def test_negative_numbers():
+    _round_trip("SELECT a FROM t WHERE a > -5 AND a < -1 + 3")
+
+
+@st.composite
+def random_sql(draw):
+    cols = ["a", "b", "c"]
+    preds = []
+    for _ in range(draw(st.integers(0, 3))):
+        col = draw(st.sampled_from(cols))
+        op = draw(st.sampled_from([">", ">=", "<", "<=", "=", "!="]))
+        val = draw(st.integers(-9, 9))
+        wrap = draw(st.sampled_from(["{}", "NOT ({})"]))
+        preds.append(wrap.format(f"{col} {op} {val}"))
+    where = " WHERE " + " AND ".join(f"({p})" for p in preds) if preds else ""
+    shape = draw(st.sampled_from(["plain", "agg", "group"]))
+    if shape == "plain":
+        order = draw(st.sampled_from(["", " ORDER BY a", " ORDER BY a DESC, b"]))
+        limit = draw(st.sampled_from(["", " LIMIT 5"]))
+        return f"SELECT a, b{'' if not draw(st.booleans()) else ' AS bb'} FROM t{where}{order}{limit}"
+    if shape == "agg":
+        agg = draw(st.sampled_from(["COUNT(*)", "SUM(a)", "AVG(b)", "MIN(c)", "MAX(a)"]))
+        return f"SELECT {agg} AS v FROM t{where}"
+    return f"SELECT a, COUNT(*) AS n FROM t{where} GROUP BY a ORDER BY n DESC LIMIT 4"
+
+
+@settings(max_examples=150, deadline=None)
+@given(random_sql())
+def test_property_format_parse_round_trip(sql):
+    query = parse(sql)
+    assert parse(format_query(query)) == query
+    # idempotence: formatting the reparsed query yields the same text
+    assert format_query(parse(format_query(query))) == format_query(query)

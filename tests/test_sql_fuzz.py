@@ -1,0 +1,66 @@
+"""Robustness: the SQL front-end never raises anything but ParseError."""
+
+import random
+import string
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import FeisuError, ParseError
+from repro.sql.lexer import tokenize
+from repro.sql.parser import parse
+
+
+@settings(max_examples=300, deadline=None)
+@given(st.text(max_size=80))
+def test_property_tokenizer_total(text):
+    """Any input either tokenizes or raises ParseError — nothing else."""
+    try:
+        tokens = tokenize(text)
+    except ParseError:
+        return
+    assert tokens[-1].type.name == "EOF"
+
+
+@settings(max_examples=300, deadline=None)
+@given(st.text(max_size=120))
+def test_property_parser_total(text):
+    try:
+        parse(text)
+    except ParseError:
+        pass  # the only acceptable failure mode
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.lists(st.sampled_from(
+    ["SELECT", "FROM", "WHERE", "AND", "OR", "NOT", "GROUP", "BY", "ORDER",
+     "LIMIT", "JOIN", "ON", "a", "b", "t", "5", "'x'", "(", ")", ",", ">",
+     "<", "=", "*", "+", "-", "CONTAINS", "COUNT", "HAVING"]
+), max_size=25))
+def test_property_keyword_soup_total(words):
+    """Grammar-adjacent token soup: still ParseError-or-parse."""
+    try:
+        parse(" ".join(words))
+    except ParseError:
+        pass
+
+
+def test_moderately_nested_parentheses_ok():
+    depth = 40
+    text = "SELECT a FROM t WHERE " + "(" * depth + "a > 1" + ")" * depth
+    query = parse(text)
+    assert query.where is not None
+
+
+def test_pathological_nesting_rejected_cleanly():
+    depth = 500
+    text = "SELECT a FROM t WHERE " + "(" * depth + "a > 1" + ")" * depth
+    with pytest.raises(ParseError, match="nested deeper"):
+        parse(text)
+
+
+def test_long_conjunction_parses_and_plans(small_cluster):
+    preds = " AND ".join(f"(c1 != {i})" for i in range(120))
+    r = small_cluster.query(f"SELECT COUNT(*) FROM T WHERE {preds}")
+    assert r.num_rows == 1

@@ -1,0 +1,85 @@
+"""Tokenizer behaviour."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.sql.lexer import TokenType, tokenize
+
+
+def _texts(sql):
+    return [(t.type, t.text) for t in tokenize(sql) if t.type is not TokenType.EOF]
+
+
+def test_keywords_case_insensitive():
+    tokens = _texts("select From WHERE")
+    assert tokens == [
+        (TokenType.KEYWORD, "SELECT"),
+        (TokenType.KEYWORD, "FROM"),
+        (TokenType.KEYWORD, "WHERE"),
+    ]
+
+
+def test_identifiers_preserve_case():
+    assert _texts("colName")[0] == (TokenType.IDENTIFIER, "colName")
+
+
+def test_numbers():
+    assert _texts("42")[0] == (TokenType.NUMBER, "42")
+    assert _texts("3.14")[0] == (TokenType.NUMBER, "3.14")
+    assert _texts("1e5")[0] == (TokenType.NUMBER, "1e5")
+    assert _texts("2.5E-3")[0] == (TokenType.NUMBER, "2.5E-3")
+
+
+def test_string_literals_with_escapes():
+    assert _texts("'hello'")[0] == (TokenType.STRING, "hello")
+    assert _texts("'it''s'")[0] == (TokenType.STRING, "it's")
+    assert _texts("''")[0] == (TokenType.STRING, "")
+
+
+def test_unterminated_string():
+    with pytest.raises(ParseError, match="unterminated"):
+        tokenize("'oops")
+
+
+def test_operators_including_two_char():
+    texts = _texts("a <= b >= c != d <> e = f < g > h")
+    operator_texts = [x for t, x in texts if t is TokenType.OPERATOR]
+    assert operator_texts == ["<=", ">=", "!=", "!=", "=", "<", ">"]
+
+
+def test_arithmetic_and_punct():
+    texts = _texts("(a + b) * c / d % e, f;")
+    assert (TokenType.PUNCT, "(") in texts
+    assert (TokenType.OPERATOR, "%") in texts
+    assert (TokenType.PUNCT, ";") in texts
+
+
+def test_line_comments_skipped():
+    texts = _texts("SELECT -- comment here\n x")
+    assert texts == [(TokenType.KEYWORD, "SELECT"), (TokenType.IDENTIFIER, "x")]
+
+
+def test_unexpected_character_position():
+    with pytest.raises(ParseError) as err:
+        tokenize("a @ b")
+    assert err.value.position == 2
+
+
+def test_eof_token_always_present():
+    tokens = tokenize("")
+    assert len(tokens) == 1 and tokens[0].type is TokenType.EOF
+
+
+def test_contains_and_within_are_keywords():
+    texts = _texts("url CONTAINS 'x' WITHIN y")
+    assert (TokenType.KEYWORD, "CONTAINS") in texts
+    assert (TokenType.KEYWORD, "WITHIN") in texts
+
+
+def test_dotted_identifier_tokens():
+    texts = _texts("t.col")
+    assert texts == [
+        (TokenType.IDENTIFIER, "t"),
+        (TokenType.PUNCT, "."),
+        (TokenType.IDENTIFIER, "col"),
+    ]

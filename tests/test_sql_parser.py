@@ -1,0 +1,183 @@
+"""Parser: the full §III-A grammar."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.sql.ast import (
+    AggregateCall,
+    BinaryOp,
+    BinaryOperator,
+    Column,
+    JoinKind,
+    Literal,
+    Negate,
+    NotOp,
+    Star,
+)
+from repro.sql.parser import parse, parse_expression
+
+
+def test_minimal_select():
+    q = parse("SELECT a FROM t")
+    assert q.select_items[0].expr == Column("a")
+    assert q.tables[0].name == "t"
+    assert q.where is None and q.limit is None
+
+
+def test_select_star():
+    q = parse("SELECT * FROM t")
+    assert isinstance(q.select_items[0].expr, Star)
+
+
+def test_aliases_with_and_without_as():
+    q = parse("SELECT a AS x, b y FROM t1 AS u")
+    assert q.select_items[0].alias == "x"
+    assert q.select_items[1].alias == "y"
+    assert q.tables[0].alias == "u" and q.tables[0].binding == "u"
+
+
+def test_where_precedence_or_lowest():
+    q = parse("SELECT a FROM t WHERE a > 1 AND b < 2 OR c = 3")
+    assert isinstance(q.where, BinaryOp) and q.where.op is BinaryOperator.OR
+    assert q.where.left.op is BinaryOperator.AND
+
+
+def test_not_precedence():
+    q = parse("SELECT a FROM t WHERE NOT a > 1 AND b < 2")
+    assert q.where.op is BinaryOperator.AND
+    assert isinstance(q.where.left, NotOp)
+
+
+def test_arithmetic_precedence():
+    e = parse_expression("1 + 2 * 3")
+    assert e.op is BinaryOperator.ADD
+    assert e.right.op is BinaryOperator.MUL
+
+
+def test_parentheses_override():
+    e = parse_expression("(1 + 2) * 3")
+    assert e.op is BinaryOperator.MUL
+
+
+def test_unary_minus():
+    e = parse_expression("-x + 1")
+    assert e.op is BinaryOperator.ADD
+    assert isinstance(e.left, Negate)
+
+
+def test_contains_operator():
+    q = parse("SELECT a FROM t WHERE url CONTAINS 'baidu'")
+    assert q.where.op is BinaryOperator.CONTAINS
+    assert q.where.right == Literal("baidu")
+
+
+def test_count_star_and_within():
+    q = parse("SELECT COUNT(*) FROM t")
+    agg = q.select_items[0].expr
+    assert isinstance(agg, AggregateCall) and agg.func == "COUNT"
+    assert isinstance(agg.argument, Star)
+
+    q2 = parse("SELECT SUM(x) WITHIN y FROM t")
+    agg2 = q2.select_items[0].expr
+    assert agg2.within == Column("y")
+
+
+def test_star_only_in_count():
+    with pytest.raises(ParseError):
+        parse("SELECT SUM(*) FROM t")
+
+
+def test_joins_all_kinds():
+    q = parse(
+        "SELECT a FROM t JOIN u ON t.k = u.k "
+        "LEFT OUTER JOIN v ON t.k = v.k "
+        "RIGHT JOIN w ON t.k = w.k "
+        "CROSS JOIN z"
+    )
+    kinds = [j.kind for j in q.joins]
+    assert kinds == [JoinKind.INNER, JoinKind.LEFT_OUTER, JoinKind.RIGHT_OUTER, JoinKind.CROSS]
+    assert q.joins[3].condition is None
+
+
+def test_inner_join_keyword():
+    q = parse("SELECT a FROM t INNER JOIN u ON t.k = u.k")
+    assert q.joins[0].kind is JoinKind.INNER
+
+
+def test_join_requires_on():
+    with pytest.raises(ParseError):
+        parse("SELECT a FROM t JOIN u")
+
+
+def test_group_by_having_order_limit():
+    q = parse(
+        "SELECT a, COUNT(*) n FROM t WHERE b > 0 "
+        "GROUP BY a HAVING COUNT(*) > 5 ORDER BY n DESC, a LIMIT 10"
+    )
+    assert q.group_by == (Column("a"),)
+    assert q.having is not None
+    assert q.order_by[0].ascending is False
+    assert q.order_by[1].ascending is True
+    assert q.limit == 10
+
+
+def test_limit_must_be_integer():
+    with pytest.raises(ParseError):
+        parse("SELECT a FROM t LIMIT 1.5")
+
+
+def test_qualified_columns():
+    q = parse("SELECT t.a FROM t")
+    assert q.select_items[0].expr == Column("a", table="t")
+
+
+def test_scalar_functions():
+    e = parse_expression("LENGTH(LOWER(s))")
+    assert e.name == "LENGTH"
+    assert e.args[0].name == "LOWER"
+
+
+def test_unknown_function_rejected():
+    with pytest.raises(ParseError, match="unknown function"):
+        parse("SELECT FOO(x) FROM t")
+
+
+def test_trailing_garbage_rejected():
+    with pytest.raises(ParseError, match="trailing"):
+        parse("SELECT a FROM t extra nonsense stuff")
+
+
+def test_semicolon_accepted():
+    parse("SELECT a FROM t;")
+
+
+def test_missing_from_rejected():
+    with pytest.raises(ParseError, match="FROM"):
+        parse("SELECT a")
+
+
+def test_string_comparisons_parse():
+    q = parse("SELECT a FROM t WHERE province = 'beijing'")
+    assert q.where.right == Literal("beijing")
+
+
+def test_boolean_literals():
+    e = parse_expression("TRUE")
+    assert e == Literal(True)
+    assert parse_expression("FALSE") == Literal(False)
+
+
+def test_negative_literal_in_comparison():
+    q = parse("SELECT a FROM t WHERE b > -5")
+    assert isinstance(q.where.right, Negate)
+
+
+def test_paper_example_query_q1():
+    q = parse("SELECT COUNT(*) FROM T WHERE (c2 > 0) AND (c2 <= 5)")
+    assert q.where.op is BinaryOperator.AND
+
+
+def test_paper_example_query_q11_negation():
+    # Fig 7's Q11: the NOT-transformed variant of Q10.
+    q = parse("SELECT c1 FROM T WHERE c2 > 0 AND NOT (c2 > 5)")
+    assert isinstance(q.where.right, NotOp)

@@ -1,0 +1,108 @@
+"""Common storage layer: prefix routing + SSO enforcement (§III-C)."""
+
+import pytest
+
+from repro.errors import AccessDeniedError, PathError
+from repro.security.auth import SSOAuthority
+from repro.sim.netmodel import NodeAddress, TopologySpec
+from repro.storage.router import StorageRouter
+from repro.storage.systems import DistributedFS, FatmanFS, LocalFS
+
+NODES = TopologySpec(2, 2, 4).addresses()
+
+
+def _router(with_auth=False):
+    authority = SSOAuthority() if with_auth else None
+    router = StorageRouter(authority)
+    local = LocalFS(NODES)
+    hdfs = DistributedFS(NODES)
+    fatman = FatmanFS(NODES)
+    router.register(local, default=True)
+    router.register(hdfs)
+    router.register(fatman)
+    return router, authority, local, hdfs, fatman
+
+
+def test_prefix_routing():
+    router, _, local, hdfs, fatman = _router()
+    assert router.resolve("/hdfs/a/b") == (hdfs, "/a/b")
+    assert router.resolve("/ffs/x") == (fatman, "/x")
+    # unrecognized prefix activates the local filesystem by default
+    assert router.resolve("/data/logs/f1") == (local, "/data/logs/f1")
+
+
+def test_relative_path_rejected():
+    router, *_ = _router()
+    with pytest.raises(PathError):
+        router.resolve("no/slash")
+
+
+def test_duplicate_scheme_rejected():
+    router, _, _, hdfs, _ = _router()
+    with pytest.raises(PathError):
+        router.register(DistributedFS(NODES))
+
+
+def test_unknown_prefix_without_default():
+    router = StorageRouter()
+    router.register(DistributedFS(NODES))
+    with pytest.raises(PathError, match="no plugin"):
+        router.resolve("/plain/file")
+
+
+def test_write_read_round_trip_through_router():
+    router, *_ = _router()
+    router.write("/hdfs/t/block0", b"columnar-bytes")
+    assert router.read("/hdfs/t/block0") == b"columnar-bytes"
+    assert router.exists("/hdfs/t/block0")
+    assert not router.exists("/hdfs/t/missing")
+    assert router.size("/hdfs/t/block0") == 14
+    assert len(router.locations("/hdfs/t/block0")) == 3
+
+
+def test_full_path_inverse_of_resolve():
+    router, _, local, hdfs, _ = _router()
+    full = router.full_path(hdfs, "/t/b0")
+    assert full == "/hdfs/t/b0"
+    system, inner = router.resolve(full)
+    assert system is hdfs and inner == "/t/b0"
+    with pytest.raises(PathError):
+        router.full_path(hdfs, "rel")
+
+
+def test_sso_domain_enforcement():
+    router, authority, _, hdfs, fatman = _router(with_auth=True)
+    hdfs.write("/f", b"x")
+    ok_cred = authority.issue("alice", [hdfs.domain])
+    router.read("/hdfs/f", cred=ok_cred)  # allowed
+
+    wrong_domain = authority.issue("alice", [fatman.domain])
+    with pytest.raises(AccessDeniedError, match="lacks SSO access"):
+        router.read("/hdfs/f", cred=wrong_domain)
+
+    with pytest.raises(AccessDeniedError, match="requires a credential"):
+        router.read("/hdfs/f")
+
+
+def test_forged_credential_rejected():
+    router, authority, _, hdfs, _ = _router(with_auth=True)
+    hdfs.write("/f", b"x")
+    cred = authority.issue("mallory", [hdfs.domain])
+    forged = type(cred)(
+        user="mallory",
+        domains=frozenset([hdfs.domain, "extra-domain"]),  # claims not signed
+        issued_at=cred.issued_at,
+        expires_at=cred.expires_at,
+        token=cred.token,
+    )
+    with pytest.raises(AccessDeniedError, match="verification"):
+        router.read("/hdfs/f", cred=forged)
+
+
+def test_expired_credential_rejected():
+    router, authority, _, hdfs, _ = _router(with_auth=True)
+    hdfs.write("/f", b"x")
+    cred = authority.issue("bob", [hdfs.domain], now=0.0, ttl_s=10.0)
+    router.read("/hdfs/f", cred=cred, now=5.0)
+    with pytest.raises(AccessDeniedError, match="expired"):
+        router.read("/hdfs/f", cred=cred, now=20.0)

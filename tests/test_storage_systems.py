@@ -1,0 +1,116 @@
+"""Storage substrates: namespaces, placement policies, service profiles."""
+
+import pytest
+
+from repro.errors import PathError, StorageError
+from repro.sim.netmodel import NodeAddress, TopologySpec
+from repro.storage.systems import DistributedFS, FatmanFS, KeyValueStore, LocalFS
+
+SPEC = TopologySpec(datacenters=2, racks_per_datacenter=2, nodes_per_rack=4)
+NODES = SPEC.addresses()
+
+
+def test_localfs_requires_node_and_single_replica():
+    fs = LocalFS(NODES)
+    with pytest.raises(StorageError, match="producing node"):
+        fs.write("/a", b"x")
+    fs.write("/a", b"x", node=NODES[3])
+    assert fs.locations("/a") == [NODES[3]]
+    assert fs.read("/a") == b"x"
+
+
+def test_localfs_rejects_foreign_node():
+    fs = LocalFS(NODES[:2])
+    with pytest.raises(StorageError):
+        fs.write("/a", b"x", node=NODES[5])
+
+
+def test_paths_must_be_absolute():
+    fs = LocalFS(NODES)
+    with pytest.raises(PathError):
+        fs.write("relative", b"x", node=NODES[0])
+
+
+def test_read_missing_path():
+    fs = DistributedFS(NODES)
+    with pytest.raises(PathError):
+        fs.read("/missing")
+    with pytest.raises(PathError):
+        fs.locations("/missing")
+    with pytest.raises(PathError):
+        fs.delete("/missing")
+
+
+def test_hdfs_three_replicas_rack_aware():
+    fs = DistributedFS(NODES, seed=3)
+    fs.write("/f", b"data", node=NODES[0])
+    replicas = fs.locations("/f")
+    assert len(replicas) == 3
+    assert replicas[0] == NODES[0]  # writer-local first replica
+    assert len(set(replicas)) == 3
+    # second replica shares the writer's rack, third does not
+    same_rack = [
+        r for r in replicas[1:] if (r.datacenter, r.rack) == (NODES[0].datacenter, NODES[0].rack)
+    ]
+    other_rack = [
+        r for r in replicas[1:] if (r.datacenter, r.rack) != (NODES[0].datacenter, NODES[0].rack)
+    ]
+    assert len(same_rack) == 1 and len(other_rack) == 1
+
+
+def test_hdfs_degrades_on_tiny_cluster():
+    two = NODES[:2]
+    fs = DistributedFS(two)
+    fs.write("/f", b"x")
+    assert 1 <= len(fs.locations("/f")) <= 2
+
+
+def test_fatman_replicas_span_datacenters():
+    fs = FatmanFS(NODES, seed=9)
+    fs.write("/cold", b"archive")
+    replicas = fs.locations("/cold")
+    assert len(replicas) == 2
+    assert replicas[0].datacenter != replicas[1].datacenter
+
+
+def test_fatman_profile_is_cold():
+    fs = FatmanFS(NODES)
+    assert fs.profile.first_byte_latency_s > 0.1
+    assert fs.profile.tasks_per_node == 1
+
+
+def test_kv_store_stable_placement():
+    kv = KeyValueStore(NODES)
+    kv.put("label1", b"v1")
+    first = kv.locations("/label1")
+    kv2 = KeyValueStore(NODES)
+    kv2.put("label1", b"v1")
+    assert kv2.locations("/label1") == first  # hash placement is stable
+    assert kv.get("label1") == b"v1"
+
+
+def test_drop_replica_and_overwrite():
+    fs = DistributedFS(NODES)
+    fs.write("/f", b"1")
+    replicas = fs.locations("/f")
+    fs.drop_replica("/f", replicas[0])
+    assert len(fs.locations("/f")) == len(replicas) - 1
+    fs.write("/f", b"22")  # overwrite re-places
+    assert fs.read("/f") == b"22"
+
+
+def test_list_paths_and_totals():
+    fs = DistributedFS(NODES)
+    fs.write("/t/a", b"xx")
+    fs.write("/t/b", b"yyy")
+    fs.write("/u/c", b"z")
+    assert fs.list_paths("/t/") == ["/t/a", "/t/b"]
+    assert fs.total_bytes == 6
+    fs.delete("/t/a")
+    assert not fs.exists("/t/a")
+
+
+def test_size_reporting():
+    fs = DistributedFS(NODES)
+    fs.write("/f", b"12345")
+    assert fs.size("/f") == 5

@@ -1,0 +1,143 @@
+"""Workload generation, datasets, trace analysis (§IV-A / §VI-A)."""
+
+import numpy as np
+import pytest
+
+from repro.sql.parser import parse
+from repro.workload.analysis import (
+    keyword_frequency,
+    repeated_columns_by_span,
+    same_predicate_ratio_by_span,
+    scan_query_share,
+)
+from repro.workload.datasets import (
+    PAPER_ROWS,
+    default_specs,
+    log_schema,
+    synthesize,
+    webpage_schema,
+)
+from repro.workload.generator import (
+    TimedQuery,
+    WorkloadConfig,
+    WorkloadGenerator,
+    scan_query_stream,
+)
+
+
+def test_log_schema_field_count():
+    assert len(log_schema(200)) == 200
+    assert len(log_schema(24)) == 24
+
+
+def test_webpage_schema_subset_of_log_schema():
+    t3 = webpage_schema(57)
+    t1 = log_schema(200)
+    assert len(t3) == 57
+    assert t3.is_subset_of(t1)
+
+
+def test_default_specs_scale_factors():
+    specs = {s.name: s for s in default_specs()}
+    assert specs["T1"].scale_factor == PAPER_ROWS["T1"] / specs["T1"].rows
+    assert specs["T2"].rows > specs["T1"].rows > specs["T3"].rows
+    assert specs["T2"].storage == "storage-b"
+    assert specs["T1"].storage == specs["T3"].storage == "storage-a"
+
+
+def test_synthesize_columns_match_schema():
+    spec = default_specs(t1_rows=500, num_fields=15)[0]
+    schema, columns = synthesize(spec)
+    assert set(columns) == set(schema.names)
+    assert all(len(v) == 500 for v in columns.values())
+    assert columns["position"].min() >= 1 and columns["position"].max() <= 10
+
+
+def test_synthesize_deterministic():
+    spec = default_specs(t1_rows=200)[0]
+    _, a = synthesize(spec)
+    _, b = synthesize(spec)
+    assert (a["click_count"] == b["click_count"]).all()
+
+
+def test_generator_queries_parse_and_reference_table():
+    gen = _generator()
+    log = gen.generate(6 * 3600)
+    assert len(log) > 50
+    for q in log[:100]:
+        parsed = parse(q.sql)
+        assert parsed.tables[0].name == "T1"
+    assert all(log[i].at_s <= log[i + 1].at_s for i in range(len(log) - 1))
+
+
+def _generator(reuse=0.8, seed=1):
+    schema = log_schema(12)
+    return WorkloadGenerator(
+        "T1",
+        schema,
+        WorkloadConfig(num_users=8, reuse_probability=reuse, seed=seed),
+        value_ranges={"click_count": (0, 30), "position": (1, 10)},
+        contains_values={"url": ["site1", "site2"], "query_text": ["music", "news"]},
+    )
+
+
+def test_similarity_grows_with_reuse_probability():
+    low = _generator(reuse=0.05, seed=2).generate(12 * 3600)
+    high = _generator(reuse=0.95, seed=2).generate(12 * 3600)
+    spans = [2 * 3600.0]
+    r_low = same_predicate_ratio_by_span(low[:250], spans)[spans[0]]
+    r_high = same_predicate_ratio_by_span(high[:250], spans)[spans[0]]
+    assert r_high > r_low
+
+
+def test_repeated_columns_grows_with_span():
+    log = _generator(seed=3).generate(24 * 3600)[:400]
+    spans = [1800.0, 2 * 3600.0, 8 * 3600.0]
+    result = repeated_columns_by_span(log, spans)
+    assert result[1800.0] <= result[2 * 3600.0] <= result[8 * 3600.0]
+    assert result[8 * 3600.0] > 0
+
+
+def test_keyword_frequency_counts():
+    freq = keyword_frequency(
+        ["SELECT COUNT(*) FROM t WHERE a > 1", "SELECT b FROM t WHERE s CONTAINS 'x'"]
+    )
+    assert freq["SELECT"] == 2
+    assert freq["WHERE"] == 2
+    assert freq["COUNT"] == 1
+    assert freq["CONTAINS"] == 1
+
+
+def test_keyword_frequency_skips_unparseable():
+    assert keyword_frequency(["'unterminated"]) == {}
+
+
+def test_scan_query_share():
+    sqls = [
+        "SELECT a FROM t",
+        "SELECT COUNT(*) FROM t WHERE a > 1",
+        "SELECT a FROM t JOIN u ON t.a = u.a",
+    ]
+    assert scan_query_share(sqls) == pytest.approx(2 / 3)
+
+
+def test_scan_query_stream_shapes():
+    queries = scan_query_stream(
+        "T1", ["a", "b", "c"], (0, 20), count=200, contains_column="url",
+        contains_values=["site1"],
+    )
+    assert len(queries) == 200
+    for q in queries:
+        parsed = parse(q)
+        assert parsed.where is not None
+    # pooled predicates repeat across queries
+    from repro.planner.cnf import to_cnf
+
+    keys = [tuple(sorted(a.key for a in to_cnf(parse(q).where).atoms)) for q in queries]
+    flat = [k for group in keys for k in group]
+    assert len(set(flat)) < len(flat) / 2  # heavy reuse
+
+
+def test_windows_need_two_queries():
+    lone = [TimedQuery(0.0, "u", "SELECT a FROM t WHERE a > 1")]
+    assert same_predicate_ratio_by_span(lone, [60.0])[60.0] == 0.0

@@ -1,0 +1,99 @@
+"""Trace replay against the simulated cluster."""
+
+import numpy as np
+import pytest
+
+from repro import FeisuCluster, FeisuConfig, Schema, DataType
+from repro.workload.generator import TimedQuery, WorkloadConfig, WorkloadGenerator
+from repro.workload.replay import TraceReplayer
+
+
+@pytest.fixture()
+def cluster():
+    cluster = FeisuCluster(FeisuConfig(datacenters=1, racks_per_datacenter=2, nodes_per_rack=4))
+    rng = np.random.default_rng(1)
+    n = 3000
+    cluster.load_table(
+        "T",
+        Schema.of(a=DataType.INT64, b=DataType.FLOAT64),
+        {"a": rng.integers(0, 20, n), "b": rng.random(n)},
+        block_rows=800,
+        storage="storage-a",
+    )
+    return cluster
+
+
+def _trace():
+    return [
+        TimedQuery(10.0, "u1", "SELECT COUNT(*) FROM T WHERE a > 5"),
+        TimedQuery(20.0, "u2", "SELECT SUM(b) FROM T WHERE a > 5"),
+        TimedQuery(30.0, "u1", "SELECT COUNT(*) FROM T WHERE a > 5"),
+    ]
+
+
+def test_replay_honours_arrival_times(cluster):
+    replayer = TraceReplayer(cluster)
+    report = replayer.replay(_trace())
+    assert report.count == 3
+    assert report.success_ratio() == 1.0
+    # first query submitted at (or after) its trace timestamp
+    assert report.outcomes[0].submitted_at >= 10.0
+    assert report.outcomes[2].submitted_at >= 30.0
+    assert all(o.response_time_s > 0 for o in report.outcomes)
+
+
+def test_replay_time_compression(cluster):
+    replayer = TraceReplayer(cluster, time_compression=10.0)
+    report = replayer.replay(_trace())
+    assert report.outcomes[0].submitted_at >= 1.0
+    assert report.outcomes[0].submitted_at < 10.0
+
+
+def test_replay_invalid_compression(cluster):
+    with pytest.raises(ValueError):
+        TraceReplayer(cluster, time_compression=0.0)
+
+
+def test_replay_creates_users(cluster):
+    replayer = TraceReplayer(cluster)
+    report = replayer.replay(_trace())
+    assert report.success_ratio() == 1.0
+    assert "u1" in cluster._credentials and "u2" in cluster._credentials
+
+
+def test_replay_records_bad_queries(cluster):
+    trace = [TimedQuery(1.0, "u", "SELECT nope FROM T")]
+    report = TraceReplayer(cluster).replay(trace)
+    assert report.count == 0
+    assert len(report.errors) == 1
+    assert "nope" in report.errors[0]
+
+
+def test_replay_concurrent_reuses_identical_tasks(cluster):
+    # two identical queries arriving in the same instant share their tasks
+    trace = [
+        TimedQuery(5.0, "u1", "SELECT COUNT(*) FROM T WHERE a > 7"),
+        TimedQuery(5.0, "u2", "SELECT COUNT(*) FROM T WHERE a > 7"),
+    ]
+    report = TraceReplayer(cluster).replay(trace, concurrent=True)
+    assert report.count == 2
+    reused = sum(o.job.stats.tasks_reused for o in report.outcomes)
+    assert reused > 0
+
+
+def test_replay_report_percentiles(cluster):
+    report = TraceReplayer(cluster).replay(_trace())
+    assert report.percentile(0.5) <= report.percentile(0.99)
+
+
+def test_replay_generated_trace_end_to_end(cluster):
+    gen = WorkloadGenerator(
+        "T",
+        cluster.catalog.get("T").schema,
+        WorkloadConfig(num_users=3, think_time_s=50.0, seed=9, session_length=3),
+        value_ranges={"a": (0, 20)},
+    )
+    trace = gen.generate(600.0)[:12]
+    report = TraceReplayer(cluster).replay(trace)
+    assert report.count == len(trace)
+    assert report.success_ratio() == 1.0
