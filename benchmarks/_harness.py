@@ -76,5 +76,5 @@ def bucket_means(values: Sequence[float], bucket: int) -> List[float]:
     return means
 
 
-def logical_bytes(stats: Sequence[Dict[str, float]], plans_bytes: Sequence[float]) -> float:
+def logical_bytes(plans_bytes: Sequence[float]) -> float:
     return float(sum(plans_bytes))

@@ -1,0 +1,311 @@
+"""Wall-clock kernel benchmark suite (DESIGN.md S46).
+
+Times the vectorized hot-path kernels the leaves run at memory speed —
+join build+probe, grouped aggregation, multi-key sort, bitvector
+popcount/AND, the RLE codec, and SmartIndex lookups — and, for the join
+and aggregation kernels, the straightforward scalar loops they replaced,
+so every run reports the speedup the vectorization buys.
+
+``run_suite`` returns a machine-readable dict; ``benchmarks/run_kernels.py``
+writes/compares the committed ``BENCH_kernels.json`` baseline and
+``pytest -m kernelbench`` gates on it.
+
+All timings here are *library* wall-clock; the figure reproductions'
+simulated-clock numbers are untouched by definition.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.engine.aggregates import make_state, partial_aggregate
+from repro.engine.operators import hash_join, sort_frame
+from repro.index.bitmap import BitVector, rle_compress, rle_decompress
+from repro.index.smartindex import SmartIndexManager
+from repro.planner.cnf import AtomicPredicate
+from repro.planner.expressions import Frame
+from repro.sql.ast import BinaryOperator, JoinKind
+
+#: A kernel regresses when its wall-clock exceeds baseline * this factor.
+REGRESSION_FACTOR = 2.0
+#: Acceptance floor for the vectorized join/aggregate kernels.
+MIN_SPEEDUP = 5.0
+#: Index lookup cost must stay within this factor between cache sizes.
+MAX_LOOKUP_SPREAD = 2.0
+
+JOIN_ROWS = 100_000
+AGG_ROWS = 100_000
+SORT_ROWS = 100_000
+BITS = 1_000_000
+
+
+def _best_of(fn: Callable[[], object], repeat: int = 3) -> float:
+    best = float("inf")
+    for _ in range(repeat):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+# -- scalar reference implementations -------------------------------------
+# Faithful copies of the row-at-a-time loops the vectorized kernels
+# replaced (the seed's hash_join build/probe and partial_aggregate group
+# loop), so the reported speedup measures exactly what this layer buys.
+
+
+def _scalar_hash_join(left: Frame, right: Frame, lk: str, rk: str) -> Frame:
+    left_arrays = [left.column(lk)]
+    right_arrays = [right.column(rk)]
+    table: Dict[Tuple, List[int]] = {}
+    for i in range(right.num_rows):
+        key = tuple(arr[i] for arr in right_arrays)
+        table.setdefault(key, []).append(i)
+    left_idx: List[int] = []
+    right_idx: List[int] = []
+    for i in range(left.num_rows):
+        key = tuple(arr[i] for arr in left_arrays)
+        matches = table.get(key)
+        if matches:
+            left_idx.extend([i] * len(matches))
+            right_idx.extend(matches)
+    li = np.asarray(left_idx, dtype=np.int64)
+    ri = np.asarray(right_idx, dtype=np.int64)
+    out: Dict[str, np.ndarray] = {}
+    for name, col in left.columns.items():
+        out[name] = col[li]
+    for name, col in right.columns.items():
+        out[name] = col[ri]
+    return Frame(out, len(li))
+
+
+def _to_python(value):
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    return value
+
+
+def _scalar_partial_aggregate(
+    key_arrays: List[np.ndarray], funcs: List[str], arrays: List[np.ndarray], n: int
+) -> Dict[Tuple, list]:
+    from repro.engine.aggregates import group_rows
+
+    ids, _reps = group_rows(key_arrays, n)
+    order = np.argsort(ids, kind="stable")
+    sorted_ids = ids[order]
+    boundaries = np.flatnonzero(
+        np.concatenate(([True], sorted_ids[1:] != sorted_ids[:-1]))
+    )
+    slices = np.append(boundaries, len(sorted_ids))
+    groups: Dict[Tuple, list] = {}
+    for gi in range(len(boundaries)):
+        rows = order[slices[gi] : slices[gi + 1]]
+        rep = rows[0]
+        key = tuple(_to_python(col[rep]) for col in key_arrays)
+        states = groups.get(key)
+        if states is None:
+            states = [make_state(f) for f in funcs]
+            groups[key] = states
+        for state, arr in zip(states, arrays):
+            state.update(arr[rows])
+    return groups
+
+
+# -- kernel definitions ---------------------------------------------------
+
+
+def _join_inputs() -> Tuple[Frame, Frame]:
+    rng = np.random.default_rng(7)
+    left = Frame.from_columns(
+        {
+            "l.k": rng.integers(0, JOIN_ROWS // 5, JOIN_ROWS),
+            "l.v": rng.random(JOIN_ROWS),
+        }
+    )
+    right = Frame.from_columns(
+        {
+            "r.k": rng.integers(0, JOIN_ROWS // 5, JOIN_ROWS // 5),
+            "r.w": rng.random(JOIN_ROWS // 5),
+        }
+    )
+    return left, right
+
+
+def bench_join(repeat: int) -> Dict[str, float]:
+    left, right = _join_inputs()
+    wall = _best_of(
+        lambda: hash_join(left, right, ["l.k"], ["r.k"], JoinKind.INNER), repeat
+    )
+    scalar = _best_of(lambda: _scalar_hash_join(left, right, "l.k", "r.k"), repeat)
+    return {"wall_s": wall, "scalar_wall_s": scalar, "speedup": scalar / wall,
+            "rows": JOIN_ROWS}
+
+
+def _agg_inputs() -> Tuple[np.ndarray, np.ndarray]:
+    # High-cardinality GROUP BY (the paper's group-by-url shape): the
+    # per-group work, not the initial factorize/sort, must dominate.
+    rng = np.random.default_rng(11)
+    return rng.integers(0, AGG_ROWS // 10, AGG_ROWS), rng.random(AGG_ROWS)
+
+
+def bench_grouped_aggregate(repeat: int) -> Dict[str, float]:
+    keys, values = _agg_inputs()
+    funcs = ["COUNT", "SUM", "MIN", "MAX", "AVG"]
+    wall = _best_of(
+        lambda: partial_aggregate([keys], funcs, [values] * 5, AGG_ROWS), repeat
+    )
+    scalar = _best_of(
+        lambda: _scalar_partial_aggregate([keys], funcs, [values] * 5, AGG_ROWS),
+        repeat,
+    )
+    return {"wall_s": wall, "scalar_wall_s": scalar, "speedup": scalar / wall,
+            "rows": AGG_ROWS}
+
+
+def bench_sort(repeat: int) -> Dict[str, float]:
+    rng = np.random.default_rng(13)
+    frame = Frame.from_columns(
+        {"a": rng.integers(0, 50, SORT_ROWS), "b": rng.random(SORT_ROWS)}
+    )
+    keys = [(frame.column("a"), True), (frame.column("b"), False)]
+    return {"wall_s": _best_of(lambda: sort_frame(frame, keys), repeat),
+            "rows": SORT_ROWS}
+
+
+def _bitvectors() -> Tuple[BitVector, BitVector]:
+    rng = np.random.default_rng(17)
+    return (
+        BitVector.from_bool_array(rng.random(BITS) < 0.3),
+        BitVector.from_bool_array(rng.random(BITS) < 0.5),
+    )
+
+
+def bench_popcount(repeat: int) -> Dict[str, float]:
+    a, _ = _bitvectors()
+
+    def run():
+        for _ in range(100):
+            a.count()
+
+    return {"wall_s": _best_of(run, repeat) / 100, "bits": BITS}
+
+
+def bench_bit_and(repeat: int) -> Dict[str, float]:
+    a, b = _bitvectors()
+
+    def run():
+        for _ in range(100):
+            (a & b).count()
+
+    return {"wall_s": _best_of(run, repeat) / 100, "bits": BITS}
+
+
+def bench_rle_roundtrip(repeat: int) -> Dict[str, float]:
+    # Clustered bits: realistic selective-predicate bitmap with long runs.
+    rng = np.random.default_rng(19)
+    mask = np.zeros(BITS, dtype=bool)
+    starts = rng.integers(0, BITS - 600, 200)
+    for s in starts:
+        mask[s : s + int(rng.integers(50, 600))] = True
+    bv = BitVector.from_bool_array(mask)
+
+    def run():
+        payload, length = rle_compress(bv)
+        rle_decompress(payload, length)
+
+    return {"wall_s": _best_of(run, repeat), "bits": BITS}
+
+
+def _filled_manager(entries: int) -> Tuple[SmartIndexManager, List[AtomicPredicate]]:
+    mgr = SmartIndexManager(compress=False)
+    rng = np.random.default_rng(23)
+    atoms = [
+        AtomicPredicate(f"c{i % 40}", BinaryOperator.GT, int(v))
+        for i, v in enumerate(rng.integers(0, 1_000_000, entries))
+    ]
+    mask = np.ones(512, dtype=bool)
+    for i, atom in enumerate(atoms):
+        mgr.insert(f"b{i % 64}", atom, mask, now=float(i) * 1e-3)
+    return mgr, atoms
+
+
+def _bench_lookup(entries: int, repeat: int) -> Dict[str, float]:
+    mgr, atoms = _filled_manager(entries)
+    rng = np.random.default_rng(29)
+    probe_ids = rng.integers(0, len(atoms), 2000)
+    probes = [(f"b{i % 64}", atoms[i]) for i in probe_ids]
+    now = float(entries) * 1e-3 + 1.0
+
+    def run():
+        for block_id, atom in probes:
+            mgr.lookup_atom(block_id, atom, now)
+
+    return {"wall_s": _best_of(run, repeat) / len(probes), "entries": entries}
+
+
+def bench_index_lookup_100(repeat: int) -> Dict[str, float]:
+    return _bench_lookup(100, repeat)
+
+
+def bench_index_lookup_10k(repeat: int) -> Dict[str, float]:
+    return _bench_lookup(10_000, repeat)
+
+
+KERNELS: Dict[str, Callable[[int], Dict[str, float]]] = {
+    "join_build_probe_100k": bench_join,
+    "grouped_aggregate_100k": bench_grouped_aggregate,
+    "sort_frame_100k": bench_sort,
+    "bitvector_popcount_1m": bench_popcount,
+    "bitvector_and_1m": bench_bit_and,
+    "rle_roundtrip_1m": bench_rle_roundtrip,
+    "index_lookup_100": bench_index_lookup_100,
+    "index_lookup_10k": bench_index_lookup_10k,
+}
+
+
+def run_suite(repeat: int = 3) -> Dict[str, Dict[str, float]]:
+    """Run every kernel; returns ``{kernel_name: metrics}``."""
+    return {name: fn(repeat) for name, fn in KERNELS.items()}
+
+
+def acceptance_failures(results: Dict[str, Dict[str, float]]) -> List[str]:
+    """The suite's built-in invariants (independent of any baseline)."""
+    problems = []
+    for name in ("join_build_probe_100k", "grouped_aggregate_100k"):
+        speedup = results[name]["speedup"]
+        if speedup < MIN_SPEEDUP:
+            problems.append(
+                f"{name}: speedup {speedup:.1f}x < required {MIN_SPEEDUP:.0f}x"
+            )
+    small = results["index_lookup_100"]["wall_s"]
+    big = results["index_lookup_10k"]["wall_s"]
+    spread = big / small if small else float("inf")
+    if spread > MAX_LOOKUP_SPREAD:
+        problems.append(
+            f"index lookup not flat: 10k-entry cache costs {spread:.2f}x "
+            f"a 100-entry cache (limit {MAX_LOOKUP_SPREAD:.0f}x)"
+        )
+    return problems
+
+
+def regressions(
+    results: Dict[str, Dict[str, float]], baseline: Dict[str, Dict[str, float]]
+) -> List[str]:
+    """Kernels slower than ``REGRESSION_FACTOR`` x the committed baseline."""
+    problems = []
+    for name, base in baseline.items():
+        current: Optional[Dict[str, float]] = results.get(name)
+        if current is None:
+            problems.append(f"{name}: kernel missing from current suite")
+            continue
+        if current["wall_s"] > base["wall_s"] * REGRESSION_FACTOR:
+            problems.append(
+                f"{name}: {current['wall_s']:.6f}s vs baseline "
+                f"{base['wall_s']:.6f}s (>{REGRESSION_FACTOR:.0f}x regression)"
+            )
+    return problems

@@ -129,3 +129,48 @@ def test_micro_index_cover_probe(benchmark):
 
     mask, missing = benchmark(probe)
     assert missing == []
+
+
+# -- kernel benchmark gate (S46) ------------------------------------------
+# Opt-in wall-clock gate: `pytest -m kernelbench benchmarks`.  Runs the
+# kernel suite once and asserts (a) the suite's built-in invariants
+# (join/aggregate speedup, flat index lookup) and (b) no kernel slower
+# than 2x the committed BENCH_kernels.json baseline.
+
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+import kernels as _kernels
+
+
+@pytest.fixture(scope="module")
+def kernel_results():
+    return _kernels.run_suite(repeat=3)
+
+
+@pytest.mark.kernelbench
+def test_kernel_acceptance(kernel_results):
+    assert _kernels.acceptance_failures(kernel_results) == []
+
+
+@pytest.mark.kernelbench
+def test_kernel_baseline_regression(kernel_results):
+    path = os.path.join(os.path.dirname(__file__), "BENCH_kernels.json")
+    assert os.path.exists(path), "no committed baseline; run run_kernels.py --update"
+    with open(path) as fh:
+        baseline = json.load(fh)["kernels"]
+    assert _kernels.regressions(kernel_results, baseline) == []
+
+
+@pytest.mark.kernelbench
+def test_kernel_baseline_schema():
+    path = os.path.join(os.path.dirname(__file__), "BENCH_kernels.json")
+    with open(path) as fh:
+        doc = json.load(fh)
+    assert doc["schema_version"] == 1
+    assert set(doc["kernels"]) == set(_kernels.KERNELS)
+    for metrics in doc["kernels"].values():
+        assert metrics["wall_s"] > 0

@@ -11,10 +11,12 @@ costs.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from itertools import repeat
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.engine.operators import _stable_order
 from repro.errors import ExecutionError
 
 
@@ -244,6 +246,79 @@ class GroupedPartial:
         return 64 + per_group * len(self.groups)
 
 
+def _group_order(key_arrays: Sequence[np.ndarray], num_rows: int):
+    """One stable sort bringing equal key tuples together.
+
+    Returns ``(order, starts)``: ``order`` permutes rows so each group is
+    a contiguous run beginning at ``starts[g]``; groups appear in key
+    sort order (matching ``np.unique``), rows within a group in input
+    order.  The single-key fast path needs no factorize pass at all —
+    one argsort plus one adjacent-difference over the sorted values.
+    """
+    if len(key_arrays) == 1:
+        col = key_arrays[0]
+        order = _stable_order(col)
+        svals = col[order]
+        change = svals[1:] != svals[:-1]
+    else:
+        combined = None
+        for col in key_arrays:
+            uniques, codes = np.unique(col, return_inverse=True)
+            codes = codes.astype(np.int64)
+            if combined is None:
+                combined = codes
+            else:
+                combined = combined * np.int64(len(uniques)) + codes
+        order = _stable_order(combined)
+        svals = combined[order]
+        change = svals[1:] != svals[:-1]
+    starts = np.concatenate(([0], np.flatnonzero(change) + 1))
+    return order, starts
+
+
+def _state_column(func: str, arr: Optional[np.ndarray], sorted_arr, starts, counts):
+    """All groups' states for one aggregate, built from bulk reductions.
+
+    One ``np.ufunc.reduceat`` (or the shared ``counts`` list) computes
+    every group's value; states are then mass-allocated via ``__new__``
+    and filled in a tight loop — no per-group slicing or dispatch.
+    """
+    num_groups = len(starts)
+    if func == "COUNT" or arr is None:
+        states = list(map(CountState.__new__, repeat(CountState, num_groups)))
+        for state, n in zip(states, counts):
+            state.n = n
+        return states
+    if func == "SUM":
+        if np.issubdtype(sorted_arr.dtype, np.integer):
+            # match np.sum's promotion of narrow ints to platform int
+            sorted_arr = sorted_arr.astype(np.int64)
+        sums = np.add.reduceat(sorted_arr, starts)
+        states = list(map(SumState.__new__, repeat(SumState, num_groups)))
+        for state, total in zip(states, sums.tolist()):
+            state.total = total
+            state.seen = True
+        return states
+    if func == "MIN" or func == "MAX":
+        ufunc = np.minimum if func == "MIN" else np.maximum
+        values = ufunc.reduceat(sorted_arr, starts)
+        cls = MinState if func == "MIN" else MaxState
+        states = list(map(cls.__new__, repeat(cls, num_groups)))
+        for state, value in zip(states, values.tolist()):
+            state.value = value
+        return states
+    if func == "AVG":
+        if sorted_arr.dtype != np.float64:
+            sorted_arr = sorted_arr.astype(np.float64)
+        sums = np.add.reduceat(sorted_arr, starts)
+        states = list(map(AvgState.__new__, repeat(AvgState, num_groups)))
+        for state, total, n in zip(states, sums.tolist(), counts):
+            state.total = total
+            state.n = n
+        return states
+    raise ExecutionError(f"unknown aggregate function {func!r}")
+
+
 def partial_aggregate(
     key_arrays: Sequence[np.ndarray],
     agg_funcs: Sequence[str],
@@ -253,6 +328,11 @@ def partial_aggregate(
     """Aggregate one frame into per-group partial states.
 
     ``agg_arrays[i]`` is None for COUNT(*) (row counting needs no column).
+
+    All reductions are vectorized: one stable sort brings each group's
+    rows together, then every aggregate computes all groups' values in a
+    single ``np.ufunc.reduceat`` / counts pass over the sorted values —
+    no per-group slicing loop.
     """
     partial = GroupedPartial(num_keys=len(key_arrays), agg_funcs=list(agg_funcs))
     partial.rows_scanned = num_rows
@@ -260,19 +340,30 @@ def partial_aggregate(
         if not key_arrays:
             partial.state_for(())  # global aggregate over zero rows still yields a row
         return partial
-    ids, reps = group_rows(key_arrays, num_rows)
-    order = np.argsort(ids, kind="stable")
-    sorted_ids = ids[order]
-    boundaries = np.flatnonzero(np.concatenate(([True], sorted_ids[1:] != sorted_ids[:-1])))
-    slices = np.append(boundaries, len(sorted_ids))
-    for gi in range(len(boundaries)):
-        rows = order[slices[gi] : slices[gi + 1]]
-        rep = rows[0]
-        key = tuple(_to_python(col[rep]) for col in key_arrays)
-        states = partial.state_for(key)
-        for state, arr in zip(states, agg_arrays):
-            if arr is None:
-                state.update_count(len(rows))  # type: ignore[attr-defined]
-            else:
-                state.update(arr[rows])
+    if not key_arrays:
+        order = np.arange(num_rows, dtype=np.int64)
+        starts = np.zeros(1, dtype=np.int64)
+    else:
+        order, starts = _group_order(key_arrays, num_rows)
+    counts = np.diff(np.append(starts, num_rows)).tolist()
+    # Sorted gathers are shared between aggregates over the same column
+    # (COUNT(x) / SUM(x) / AVG(x) all reference x once).
+    sorted_cache: Dict[int, np.ndarray] = {}
+    columns = []
+    for func, arr in zip(partial.agg_funcs, agg_arrays):
+        sorted_arr = None
+        if arr is not None and func != "COUNT":
+            sorted_arr = sorted_cache.get(id(arr))
+            if sorted_arr is None:
+                sorted_arr = np.asarray(arr)[order]
+                sorted_cache[id(arr)] = sorted_arr
+        columns.append(_state_column(func, arr, sorted_arr, starts, counts))
+    # Group-key tuples, converted to Python scalars in one pass per column.
+    reps = order[starts]
+    key_cols = [col[reps].tolist() for col in key_arrays]
+    if key_cols:
+        keys = zip(*key_cols)
+    else:
+        keys = [()]
+    partial.groups = dict(zip(keys, map(list, zip(*columns))))
     return partial

@@ -16,6 +16,12 @@ import numpy as np
 
 from repro.errors import IndexError_
 
+#: Per-byte popcount lookup table; indexing with a uint8 buffer popcounts
+#: the whole buffer without materializing an 8x bool expansion.
+_POPCOUNT8 = np.unpackbits(np.arange(256, dtype=np.uint8)[:, None], axis=1).sum(
+    axis=1, dtype=np.int64
+)
+
 
 class BitVector:
     """A fixed-length bit vector with bitwise algebra.
@@ -77,9 +83,22 @@ class BitVector:
         return out
 
     def count(self) -> int:
-        """Number of set bits (matching rows)."""
-        # popcount via unpackbits on the exact length
-        return int(np.unpackbits(self._bits, count=self.length).sum())
+        """Number of set bits (matching rows).
+
+        Popcount via the 256-entry byte table — no ``unpackbits``
+        materialization; tail padding bits are masked out of the last
+        byte so arbitrary packed buffers still count exactly.
+        """
+        used = (self.length + 7) // 8
+        if used == 0:
+            return 0
+        total = int(_POPCOUNT8[self._bits[:used]].sum())
+        tail = self.length % 8
+        if tail:
+            last = int(self._bits[used - 1])
+            masked = last & (0xFF << (8 - tail) & 0xFF)
+            total += int(_POPCOUNT8[masked]) - int(_POPCOUNT8[last])
+        return total
 
     def any(self) -> bool:
         return bool(self._bits.any())
@@ -111,31 +130,35 @@ def rle_compress(bv: BitVector) -> Tuple[bytes, int]:
         return b"", bv.length
     change = np.concatenate(([True], raw[1:] != raw[:-1]))
     starts = np.flatnonzero(change)
-    lengths = np.diff(np.concatenate((starts, [len(raw)])))
-    out = bytearray()
-    for start, run in zip(starts, lengths):
-        run = int(run)
-        while run > 0:
-            chunk = min(run, 0xFFFF)
-            out += chunk.to_bytes(2, "little")
-            out.append(int(raw[start]))
-            run -= chunk
-    return bytes(out), bv.length
+    lengths = np.diff(np.append(starts, len(raw)))
+    # Runs longer than 0xFFFF split into full chunks plus a remainder;
+    # records for all chunks are emitted in one vectorized pass.
+    n_chunks = (lengths + 0xFFFE) // 0xFFFF
+    total = int(n_chunks.sum())
+    run_idx = np.repeat(np.arange(len(starts)), n_chunks)
+    within = np.arange(total) - np.repeat(np.cumsum(n_chunks) - n_chunks, n_chunks)
+    sizes = np.where(
+        within == n_chunks[run_idx] - 1,
+        lengths[run_idx] - (n_chunks[run_idx] - 1) * 0xFFFF,
+        0xFFFF,
+    ).astype(np.uint16)
+    records = np.empty((total, 3), dtype=np.uint8)
+    records[:, 0] = sizes & 0xFF  # count, little-endian uint16
+    records[:, 1] = sizes >> 8
+    records[:, 2] = raw[starts][run_idx]
+    return records.tobytes(), bv.length
 
 
 def rle_decompress(payload: bytes, length: int) -> BitVector:
     """Inverse of :func:`rle_compress`."""
-    chunks = []
-    pos = 0
-    while pos < len(payload):
-        run = int.from_bytes(payload[pos : pos + 2], "little")
-        byte = payload[pos + 2]
-        chunks.append(np.full(run, byte, dtype=np.uint8))
-        pos += 3
-    if chunks:
-        packed = np.concatenate(chunks)
-    else:
-        packed = np.zeros(0, dtype=np.uint8)
+    buf = np.frombuffer(payload, dtype=np.uint8)
+    if len(buf) % 3:
+        raise IndexError_(
+            f"corrupt RLE payload: {len(buf)} bytes is not a whole number of records"
+        )
+    records = buf.reshape(-1, 3)
+    runs = records[:, 0].astype(np.int64) | (records[:, 1].astype(np.int64) << 8)
+    packed = np.repeat(records[:, 2], runs)
     expected = (length + 7) // 8
     if len(packed) != expected:
         raise IndexError_(

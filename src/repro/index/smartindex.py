@@ -20,9 +20,9 @@ negated on the fly (one in-memory bit-NOT).
 
 from __future__ import annotations
 
-from collections import OrderedDict
+from collections import OrderedDict, deque
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Deque, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -36,6 +36,8 @@ DEFAULT_TTL_S = 72 * 3600.0
 DEFAULT_MEMORY_BYTES = 512 * 1024 * 1024
 #: Compress entries whose RLE payload is at most this fraction of raw.
 COMPRESS_THRESHOLD = 0.75
+#: Re-check preferred-but-expired entries at most this often (seconds).
+DEFAULT_SWEEP_INTERVAL_S = 60.0
 
 
 @dataclass
@@ -105,6 +107,8 @@ class IndexStats:
     creations: int = 0
     evictions_lru: int = 0
     evictions_ttl: int = 0
+    #: TTL sweep passes executed (at most one per lookup/cover call).
+    ttl_sweeps: int = 0
 
     @property
     def lookups(self) -> int:
@@ -122,15 +126,32 @@ class SmartIndexManager:
         memory_budget_bytes: int = DEFAULT_MEMORY_BYTES,
         ttl_s: float = DEFAULT_TTL_S,
         compress: bool = True,
+        sweep_interval_s: float = DEFAULT_SWEEP_INTERVAL_S,
     ):
         if memory_budget_bytes <= 0:
             raise IndexError_("index memory budget must be positive")
         self.memory_budget_bytes = memory_budget_bytes
         self.ttl_s = ttl_s
         self.compress = compress
+        self.sweep_interval_s = sweep_interval_s
         self._entries: "OrderedDict[Tuple[str, str], SmartIndexEntry]" = OrderedDict()
         self._bytes = 0
         self._preferred_predicates: set = set()
+        # TTL bookkeeping is O(1) amortized per lookup: entries join a
+        # creation-time-ordered deque at insert (simulation time is
+        # monotonic), and a sweep only pops the expired prefix.  Records
+        # go stale when their entry is evicted or re-created; they are
+        # skipped on pop.  Preferred entries that outlive their TTL move
+        # to ``_pinned_expired`` and are re-checked at most once per
+        # ``sweep_interval_s`` (they die at the first sweep after being
+        # unpreferred).
+        self._created: Deque[Tuple[float, Tuple[str, str]]] = deque()
+        self._pinned_expired: Dict[Tuple[str, str], float] = {}
+        self._last_pinned_sweep = float("-inf")
+        # Secondary index: block id -> insertion-ordered set of entry
+        # keys, so invalidate_block/entries_for_block do not scan the
+        # whole cache.
+        self._by_block: Dict[str, Dict[Tuple[str, str], None]] = {}
         self.stats = IndexStats()
 
     # -- preferences (§IV-C-2 user interfaces) ---------------------------
@@ -150,10 +171,13 @@ class SmartIndexManager:
 
     # -- core cache operations -------------------------------------------
 
-    def lookup_atom(self, block_id: str, atom: AtomicPredicate, now: float) -> Optional[BitVector]:
+    def lookup_atom(
+        self, block_id: str, atom: AtomicPredicate, now: float, sweep: bool = True
+    ) -> Optional[BitVector]:
         """Fetch the result vector for one atom, directly or via the
         complement's bit-NOT (Fig 7)."""
-        self._expire(now)
+        if sweep:
+            self._expire(now)
         entry = self._touch((block_id, atom.key), now)
         if entry is not None:
             self.stats.hits += 1
@@ -165,13 +189,20 @@ class SmartIndexManager:
         self.stats.misses += 1
         return None
 
-    def lookup_clause(self, block_id: str, clause: Clause, now: float) -> Optional[BitVector]:
-        """OR of all atom vectors; None unless *every* atom is present."""
+    def lookup_clause(
+        self, block_id: str, clause: Clause, now: float, sweep: bool = True
+    ) -> Optional[BitVector]:
+        """OR of all atom vectors; None unless *every* atom is present.
+
+        The TTL sweep runs once up front, not per atom.
+        """
         if not clause.is_indexable:
             return None
+        if sweep:
+            self._expire(now)
         result: Optional[BitVector] = None
         for atom in clause.atoms:
-            vec = self.lookup_atom(block_id, atom, now)
+            vec = self.lookup_atom(block_id, atom, now, sweep=False)
             if vec is None:
                 return None
             result = vec if result is None else (result | vec)
@@ -186,11 +217,16 @@ class SmartIndexManager:
         clause vectors found; ``missing_clauses`` are the ones that must
         be evaluated against data.  Full cover ⇔ ``missing_clauses == []``
         — then the block scan and predicate evaluation are both skipped.
+
+        The TTL sweep runs exactly once per cover call (not once per
+        atom), so a multi-clause CNF probe does not multiply sweep cost;
+        see ``stats.ttl_sweeps``.
         """
+        self._expire(now)
         mask: Optional[BitVector] = None
         missing: List[Clause] = []
         for clause in cnf.clauses:
-            vec = self.lookup_clause(block_id, clause, now)
+            vec = self.lookup_clause(block_id, clause, now, sweep=False)
             if vec is None:
                 missing.append(clause)
             else:
@@ -211,6 +247,9 @@ class SmartIndexManager:
             self._bytes -= old.nbytes
         self._entries[entry.key] = entry
         self._bytes += entry.nbytes
+        self._created.append((now, entry.key))
+        self._pinned_expired.pop(entry.key, None)  # re-created: TTL restarts
+        self._by_block.setdefault(block_id, {})[entry.key] = None
         self.stats.creations += 1
         self._enforce_budget()
 
@@ -227,15 +266,33 @@ class SmartIndexManager:
 
     def _expire(self, now: float) -> None:
         """TTL sweep; preferred entries outlive their TTL while memory
-        is not scarce (§IV-C-2)."""
-        dead = [
-            key
-            for key, e in self._entries.items()
-            if now - e.created_at > self.ttl_s and not e.preferred
-        ]
-        for key in dead:
+        is not scarce (§IV-C-2).
+
+        Pops only the expired prefix of the creation-ordered deque —
+        O(1) amortized per lookup instead of a full cache scan.
+        """
+        self.stats.ttl_sweeps += 1
+        horizon = now - self.ttl_s
+        created = self._created
+        while created and created[0][0] < horizon:
+            created_at, key = created.popleft()
+            entry = self._entries.get(key)
+            if entry is None or entry.created_at != created_at:
+                continue  # stale record: entry was evicted or re-created
+            if entry.preferred:
+                self._pinned_expired[key] = created_at
+                continue
             self._remove(key)
             self.stats.evictions_ttl += 1
+        if self._pinned_expired and now - self._last_pinned_sweep >= self.sweep_interval_s:
+            self._last_pinned_sweep = now
+            for key, created_at in list(self._pinned_expired.items()):
+                entry = self._entries.get(key)
+                if entry is None or entry.created_at != created_at:
+                    del self._pinned_expired[key]
+                elif not entry.preferred:
+                    self._remove(key)
+                    self.stats.evictions_ttl += 1
 
     def _enforce_budget(self) -> None:
         while self._bytes > self.memory_budget_bytes and self._entries:
@@ -252,10 +309,16 @@ class SmartIndexManager:
     def _remove(self, key: Tuple[str, str]) -> None:
         entry = self._entries.pop(key)
         self._bytes -= entry.nbytes
+        self._pinned_expired.pop(key, None)
+        block_keys = self._by_block.get(key[0])
+        if block_keys is not None:
+            block_keys.pop(key, None)
+            if not block_keys:
+                del self._by_block[key[0]]
 
     def invalidate_block(self, block_id: str) -> None:
         """Drop every entry of a block (data rewrite)."""
-        for key in [k for k in self._entries if k[0] == block_id]:
+        for key in list(self._by_block.get(block_id, ())):
             self._remove(key)
 
     # -- introspection -----------------------------------------------------
@@ -269,4 +332,4 @@ class SmartIndexManager:
         return len(self._entries)
 
     def entries_for_block(self, block_id: str) -> List[SmartIndexEntry]:
-        return [e for k, e in self._entries.items() if k[0] == block_id]
+        return [self._entries[k] for k in self._by_block.get(block_id, ())]

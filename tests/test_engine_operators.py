@@ -150,3 +150,20 @@ def test_property_multikey_sort_matches_python(pairs):
     out = sort_frame(f, [(f.column("a"), True), (f.column("b"), False)])
     expected = sorted(zip(a, b), key=lambda p: (p[0], -p[1]))
     assert list(zip(out.column("a"), out.column("b"))) == expected
+
+
+def test_hash_join_build_side_is_always_right_input():
+    # The docstring's contract: the right input is the build side no
+    # matter which side is larger, and output order stays left-row-major
+    # with right matches ascending.
+    big_left = prefix_columns(_frame(k=[1, 2, 1, 3], i=[0, 1, 2, 3]), "l")
+    small_right = prefix_columns(_frame(k=[1, 1, 2], j=[0, 1, 2]), "r")
+    out = hash_join(big_left, small_right, ["l.k"], ["r.k"], JoinKind.INNER)
+    assert list(zip(out.column("l.i"), out.column("r.j"))) == [
+        (0, 0), (0, 1), (1, 2), (2, 0), (2, 1)
+    ]
+    # Swap relative sizes: same contract, order still driven by the left.
+    out = hash_join(small_right, big_left, ["r.k"], ["l.k"], JoinKind.INNER)
+    assert list(zip(out.column("r.j"), out.column("l.i"))) == [
+        (0, 0), (0, 2), (1, 0), (1, 2), (2, 1)
+    ]

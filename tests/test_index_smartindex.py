@@ -159,3 +159,56 @@ def test_stats_miss_ratio():
     mgr.insert("b0", _atom("a > 1"), _mask([1]), now=0.0)
     mgr.lookup_atom("b0", _atom("a > 1"), now=0.0)
     assert mgr.stats.miss_ratio() == pytest.approx(0.5)
+
+
+def test_cover_sweeps_ttl_exactly_once():
+    # A multi-clause CNF probe must not multiply TTL sweep cost: cover()
+    # runs one sweep up front and passes sweep=False downward.
+    mgr = SmartIndexManager()
+    cnf = to_cnf(parse_expression("a > 5 AND b < 2 AND c = 3"))
+    for clause in cnf.clauses:
+        mgr.insert("b0", clause.atoms[0], _mask([1, 0, 1]), now=0.0)
+    before = mgr.stats.ttl_sweeps
+    _mask_out, missing = mgr.cover("b0", cnf, now=1.0)
+    assert missing == []
+    assert mgr.stats.ttl_sweeps == before + 1
+
+
+def test_lookup_sweeps_ttl_exactly_once():
+    mgr = SmartIndexManager()
+    cnf = to_cnf(parse_expression("a > 5 OR b < 2"))
+    clause = cnf.clauses[0]
+    for atom in clause.atoms:
+        mgr.insert("b0", atom, _mask([1, 0]), now=0.0)
+    before = mgr.stats.ttl_sweeps
+    assert mgr.lookup_clause("b0", clause, now=1.0) is not None
+    assert mgr.stats.ttl_sweeps == before + 1
+    assert mgr.lookup_atom("b0", clause.atoms[0], now=2.0) is not None
+    assert mgr.stats.ttl_sweeps == before + 2
+
+
+def test_preferred_entry_expires_after_unprefer():
+    # Preferred entries ride out their TTL in _pinned_expired; once the
+    # preference is dropped, the next sweep past sweep_interval_s
+    # evicts them.
+    mgr = SmartIndexManager(ttl_s=100.0, sweep_interval_s=10.0)
+    atom = _atom("c2 > 5")
+    mgr.prefer_predicate(atom.key)
+    mgr.insert("b0", atom, _mask([1]), now=0.0)
+    assert mgr.lookup_atom("b0", atom, now=150.0) is not None  # pinned past TTL
+    mgr.unprefer_predicate(atom.key)
+    mgr.lookup_atom("b0", atom, now=200.0)
+    assert mgr.lookup_atom("b0", atom, now=211.0) is None
+    assert mgr.stats.evictions_ttl == 1
+
+
+def test_ttl_reinsert_restarts_clock():
+    # Re-creating an entry must invalidate the old deque record: the old
+    # record's expiry must not evict the fresh entry.
+    mgr = SmartIndexManager(ttl_s=100.0)
+    atom = _atom("c2 > 5")
+    mgr.insert("b0", atom, _mask([1]), now=0.0)
+    mgr.insert("b0", atom, _mask([1]), now=90.0)
+    assert mgr.lookup_atom("b0", atom, now=150.0) is not None
+    assert mgr.stats.evictions_ttl == 0
+    assert mgr.lookup_atom("b0", atom, now=191.0) is None
