@@ -257,6 +257,11 @@ def _group_order(key_arrays: Sequence[np.ndarray], num_rows: int):
     """
     if len(key_arrays) == 1:
         col = key_arrays[0]
+        if np.issubdtype(col.dtype, np.floating) and np.isnan(col).any():
+            # NaN != NaN would split every NaN row into its own group;
+            # factorize like the multi-key path (np.unique collapses
+            # NaNs into one code) so all NaN rows share a group.
+            col = np.unique(col, return_inverse=True)[1].astype(np.int64)
         order = _stable_order(col)
         svals = col[order]
         change = svals[1:] != svals[:-1]
@@ -282,6 +287,11 @@ def _state_column(func: str, arr: Optional[np.ndarray], sorted_arr, starts, coun
     One ``np.ufunc.reduceat`` (or the shared ``counts`` list) computes
     every group's value; states are then mass-allocated via ``__new__``
     and filled in a tight loop — no per-group slicing or dispatch.
+
+    ``reduceat`` accumulates float64 sums sequentially where the scalar
+    path's ``values.sum()`` used pairwise summation, so SUM/AVG over
+    float columns can differ from the scalar result in the last ulps for
+    large groups; COUNT/MIN/MAX and integer SUM/AVG stay exact.
     """
     num_groups = len(starts)
     if func == "COUNT" or arr is None:
@@ -308,11 +318,19 @@ def _state_column(func: str, arr: Optional[np.ndarray], sorted_arr, starts, coun
             state.value = value
         return states
     if func == "AVG":
-        if sorted_arr.dtype != np.float64:
-            sorted_arr = sorted_arr.astype(np.float64)
-        sums = np.add.reduceat(sorted_arr, starts)
+        if np.issubdtype(sorted_arr.dtype, np.integer):
+            # Sum exactly in int64 and convert each group total once:
+            # element-wise float conversion first would lose low bits of
+            # values beyond 2**53.
+            totals = [
+                float(t) for t in np.add.reduceat(sorted_arr.astype(np.int64), starts).tolist()
+            ]
+        else:
+            if sorted_arr.dtype != np.float64:
+                sorted_arr = sorted_arr.astype(np.float64)
+            totals = np.add.reduceat(sorted_arr, starts).tolist()
         states = list(map(AvgState.__new__, repeat(AvgState, num_groups)))
-        for state, total, n in zip(states, sums.tolist(), counts):
+        for state, total, n in zip(states, totals, counts):
             state.total = total
             state.n = n
         return states

@@ -77,12 +77,15 @@ def _stable_order(col: np.ndarray) -> np.ndarray:
     """
     n = len(col)
     if n > 1 and np.issubdtype(col.dtype, np.integer):
-        lo = col.min()
-        span = int(col.max()) - int(lo)
+        lo = int(col.min())
+        span = int(col.max()) - lo
+        # Widen before rebasing: narrow dtypes whose span exceeds their
+        # own positive range would wrap in ``col - lo``.
         if span < (1 << 15):
-            return np.argsort((col - lo).astype(np.int16), kind="stable")
+            rebased = col.astype(np.int64, copy=False) - lo
+            return np.argsort(rebased.astype(np.int16), kind="stable")
         if span < (1 << 62) // n:
-            comp = (col - lo).astype(np.int64) * np.int64(n) + np.arange(
+            comp = (col.astype(np.int64, copy=False) - lo) * np.int64(n) + np.arange(
                 n, dtype=np.int64
             )
             return np.argsort(comp)
@@ -319,7 +322,17 @@ def sort_frame(frame: Frame, keys: Sequence[Tuple[np.ndarray, bool]]) -> Frame:
     lex_keys = []
     for values, ascending in keys:
         codes = np.unique(values, return_inverse=True)[1].astype(np.int64)
-        lex_keys.append(codes if ascending else -codes)
+        if not ascending:
+            codes = -codes
+            if np.issubdtype(values.dtype, np.floating):
+                nan_idx = np.flatnonzero(np.isnan(values))
+                if len(nan_idx):
+                    # The scalar tie-fix loop saw each NaN as a distinct
+                    # key, so a descending sort emits NaN rows in
+                    # reversed input order; per-row descending codes
+                    # below every real code reproduce that.
+                    codes[nan_idx] = codes.min() - 1 - nan_idx
+        lex_keys.append(codes)
     # np.lexsort treats its *last* key as primary.
     order = np.lexsort(lex_keys[::-1])
     return frame.take(order)

@@ -319,6 +319,38 @@ def test_partial_aggregate_no_keys_matches_scalar_reference(data):
         assert [s.final() for s in states] == [s.final() for s in want[key]]
 
 
+def test_partial_aggregate_nan_keys_share_one_group():
+    # NaN != NaN must not split NaN rows into per-row groups: the scalar
+    # path's np.unique factorize collapsed all NaNs into one group.
+    import math
+
+    keys = np.array([np.nan, 1.0, np.nan], dtype=np.float64)
+    values = np.array([2.0, 5.0, 3.0], dtype=np.float64)
+    got = partial_aggregate([keys], ["COUNT", "SUM"], [None, values], 3)
+    want = _reference_partial_aggregate([keys], ["COUNT", "SUM"], [None, values], 3)
+
+    def by_label(groups):
+        out = {}
+        for (k,), states in groups.items():
+            label = "nan" if isinstance(k, float) and math.isnan(k) else k
+            assert label not in out  # one group per distinct key, NaN included
+            out[label] = [s.final() for s in states]
+        return out
+
+    assert by_label(got.groups) == by_label(want) == {"nan": [2, 5.0], 1.0: [1, 5.0]}
+
+
+def test_partial_aggregate_avg_int64_exact_beyond_double_precision():
+    # The scalar AvgState summed exactly in int64 and converted once;
+    # element-wise float conversion would collapse these to AVG == 0.0.
+    values = np.array([2**60 + 1, 2**60 + 3, -(2**60), -(2**60)], dtype=np.int64)
+    keys = np.zeros(4, dtype=np.int64)
+    got = partial_aggregate([keys], ["AVG"], [values], 4)
+    want = _reference_partial_aggregate([keys], ["AVG"], [values], 4)
+    assert [s.final() for s in got.groups[(0,)]] == [1.0]
+    assert [s.final() for s in want[(0,)]] == [1.0]
+
+
 @given(data=st.data())
 def test_partial_aggregate_general_floats_within_tolerance(data):
     # Arbitrary doubles: summation order may differ, so SUM/AVG get a
@@ -365,6 +397,42 @@ def test_sort_frame_matches_scalar_reference(data):
     cols["row"] = np.arange(n, dtype=np.int64)  # witnesses tie order
     frame = Frame(cols, n)
     _assert_frames_equal(sort_frame(frame, keys), _reference_sort_frame(frame, keys))
+
+
+@given(data=st.data())
+def test_sort_frame_nan_keys_match_scalar_reference(data):
+    # The scalar tie-fix loop saw each NaN as a distinct key, so a
+    # descending sort emitted NaN rows in reversed input order; the
+    # lexsort path must reproduce that (and ascending input order).
+    n = data.draw(st.integers(0, 30))
+    nan_floats = st.one_of(exact_floats, st.just(float("nan")))
+    k1 = np.asarray(
+        data.draw(st.lists(small_ints, min_size=n, max_size=n)), dtype=np.int64
+    )
+    k2 = np.asarray(
+        data.draw(st.lists(nan_floats, min_size=n, max_size=n)), dtype=np.float64
+    )
+    keys = [(k1, data.draw(st.booleans())), (k2, data.draw(st.booleans()))]
+    frame = Frame({"k1": k1, "k2": k2, "row": np.arange(n, dtype=np.int64)}, n)
+    got = sort_frame(frame, keys)
+    want = _reference_sort_frame(frame, keys)
+    # Compare the row witness: tolist() equality can't see NaN columns.
+    assert got.columns["row"].tolist() == want.columns["row"].tolist()
+
+
+def test_stable_order_narrow_int_dtypes_full_span():
+    # A span exceeding the input dtype's positive range must not wrap
+    # when rebasing for the radix path.
+    from repro.engine.operators import _stable_order
+
+    for dtype in (np.int8, np.int16, np.int32):
+        info = np.iinfo(dtype)
+        col = np.array([info.max, info.min, 0, 100, -100, 0], dtype=dtype)
+        order = _stable_order(col)
+        assert col[order].tolist() == sorted(col.tolist())
+        # stability: the two zeros keep input order
+        zero_positions = [int(i) for i in order if col[i] == 0]
+        assert zero_positions == [2, 5]
 
 
 # -- RLE codec -------------------------------------------------------------
