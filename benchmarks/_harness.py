@@ -11,7 +11,7 @@ from repro.workload.datasets import DatasetSpec, load_paper_datasets
 
 
 def eval_cluster(
-    leaf: LeafConfig = LeafConfig(),
+    leaf: Optional[LeafConfig] = None,
     datacenters: int = 1,
     racks_per_datacenter: int = 2,
     nodes_per_rack: int = 8,
@@ -19,6 +19,9 @@ def eval_cluster(
     locality_aware: bool = True,
 ) -> FeisuCluster:
     """A cluster shaped like one slice of the paper's testbed."""
+    # Per-call default: a def-time LeafConfig() would be one shared
+    # mutable instance across every benchmark cluster.
+    leaf = leaf if leaf is not None else LeafConfig()
     return FeisuCluster(
         FeisuConfig(
             datacenters=datacenters,

@@ -1,0 +1,94 @@
+"""Observability overhead gate: tracing must not move the simulated clock.
+
+Span bookkeeping is pure Python object mutation — it never schedules,
+cancels or reorders simulator events — so a traced run and an untraced
+run of the same workload must produce *identical* simulated outcomes:
+same response times, same task counts, same modeled bytes.  This module
+is the enforcement: run ``pytest -m obs benchmarks`` after touching the
+tracing hot paths.
+
+The committed ``benchmarks/results/`` tables are produced with tracing
+disabled; the second test asserts a traced replay of a figure workload
+still matches the untraced numbers bit-for-bit, so those files stay
+byte-identical whether or not anyone ever turns tracing on.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from benchmarks._harness import eval_cluster, load_t1
+from repro.cluster.jobs import JobOptions
+
+pytestmark = pytest.mark.obs
+
+QUERIES = [
+    "SELECT COUNT(*) FROM T1 WHERE click_count > 3",
+    "SELECT province, COUNT(*) n, SUM(click_count) s FROM T1 "
+    "WHERE click_count > 1 GROUP BY province",
+    "SELECT url, COUNT(*) FROM T1 WHERE province = 'beijing' GROUP BY url",
+    "SELECT COUNT(*) FROM T1 WHERE click_count > 3",  # reuse/warm-index path
+]
+
+
+def _run(trace: bool):
+    cluster = eval_cluster(nodes_per_rack=4)
+    load_t1(cluster, rows=8_000, num_fields=8)
+    outcomes = []
+    for sql in QUERIES:
+        job = cluster.query_job(sql, options=JobOptions(trace=trace))
+        outcomes.append(
+            (
+                job.status.value,
+                job.response_time_s,
+                job.submitted_at,
+                job.finished_at,
+                dataclasses.astuple(job.stats),
+                [
+                    # Strip the process-global plan counter from the id:
+                    # "plan-7/t3" -> "t3" (both runs share one process).
+                    (t.task_id.split("/")[-1], t.worker_id, t.started_at, t.finished_at, t.backup)
+                    for t in job.task_timeline
+                ],
+            )
+        )
+    outcomes.append(cluster.sim.now)
+    return outcomes
+
+
+def test_tracing_does_not_perturb_simulated_outcomes():
+    untraced = _run(trace=False)
+    traced = _run(trace=True)
+    assert untraced == traced, (
+        "tracing changed simulated behavior — span code must stay off the event loop"
+    )
+
+
+def test_disabled_tracing_allocates_no_spans():
+    cluster = eval_cluster(nodes_per_rack=4)
+    load_t1(cluster, rows=4_000, num_fields=8)
+    job = cluster.query_job(QUERIES[0])
+    assert job.trace is None
+
+
+def test_figure_workload_numbers_match_with_tracing_on():
+    """A figure-style report built from traced runs must equal the
+    untraced one line-for-line (guards the committed results files)."""
+    rows_untraced = []
+    rows_traced = []
+    for trace, rows in ((False, rows_untraced), (True, rows_traced)):
+        cluster = eval_cluster(nodes_per_rack=4)
+        load_t1(cluster, rows=8_000, num_fields=8)
+        for sql in QUERIES[:3]:
+            job = cluster.query_job(sql, options=JobOptions(trace=trace))
+            rows.append(
+                (
+                    sql[:40],
+                    job.response_time_s,
+                    float(job.stats.io_bytes_modeled),
+                    job.stats.tasks_completed,
+                )
+            )
+    assert rows_untraced == rows_traced

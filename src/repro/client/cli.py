@@ -9,7 +9,8 @@ aligned table with its simulated response time::
     echo "EXPLAIN SELECT url FROM T1 WHERE click_count > 3" | python -m repro.client.cli -
 
 Statements are ``;``-separated; a leading ``EXPLAIN`` renders the plan
-instead of executing.
+instead of executing, and ``EXPLAIN ANALYZE`` executes with tracing on
+and renders the plan annotated with actual simulated times/rows/bytes.
 """
 
 from __future__ import annotations
@@ -21,6 +22,7 @@ from typing import List, Optional
 from repro import FeisuCluster, FeisuConfig
 from repro.client.client import FeisuClient
 from repro.errors import FeisuError
+from repro.sql.statements import classify_statement
 from repro.workload.datasets import DatasetSpec, load_paper_datasets
 
 
@@ -84,8 +86,11 @@ def main(argv: Optional[List[str]] = None, stdout=None) -> int:
     for sql in statements:
         print(f"feisu> {sql}", file=out)
         try:
-            if sql.upper().startswith("EXPLAIN "):
-                print(client.explain(sql[len("EXPLAIN "):]), file=out)
+            mode, body = classify_statement(sql)
+            if mode == "explain_analyze":
+                print(client.explain_analyze(body), file=out)
+            elif mode == "explain":
+                print(client.explain(body), file=out)
             else:
                 result = client.query(sql)
                 print(client.format_table(result, max_rows=args.max_rows), file=out)

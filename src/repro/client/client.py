@@ -99,46 +99,25 @@ class FeisuClient:
         return self.cluster.explain(sql)
 
     def explain_analyze(self, sql: str, options: Optional[JobOptions] = None) -> str:
-        """Execute the query and render the plan *plus* what actually
-        happened: per-task timings, index coverage, backups, stragglers.
+        """Execute the query with tracing on and render the plan annotated
+        with what actually happened: per-operator simulated times, rows,
+        bytes and index hits next to the cost estimates, plus per-task
+        timings, backups and stragglers.
 
         The production system exposed "monitoring running information"
         (§III-C); this is its query-scoped view.
         """
-        plan_text = self.explain(sql)
+        import dataclasses
+
+        from repro.planner.explain import explain_analyze as render
+
+        report = self.check_syntax(sql)
+        if not report.ok:
+            raise ParseError(report.message, position=report.position, text=sql)
+        self.verify_access(sql)
+        options = dataclasses.replace(options or JobOptions(), trace=True)
         job = self.query_job(sql, options=options)
-        lines = [plan_text, "", "execution:"]
-        lines.append(
-            f"  response: {job.stats.response_time_s:.4f}s simulated"
-            + (
-                f" (queued {job.started_at - job.submitted_at:.4f}s)"
-                if job.started_at and job.started_at > job.submitted_at
-                else ""
-            )
-        )
-        timeline = job.task_timeline
-        lines.append(
-            f"  tasks: {job.stats.tasks_completed}/{job.stats.tasks_total} completed, "
-            f"{job.stats.tasks_reused} reused, {job.stats.backups_launched} backups, "
-            f"{job.stats.results_spilled} spilled"
-        )
-        covered = sum(t.index_full_cover for t in timeline)
-        lines.append(
-            f"  SmartIndex: {covered}/{len(timeline)} attempts fully covered, "
-            f"{job.stats.io_bytes_modeled / 1e6:.1f} MB modeled scan"
-        )
-        if timeline:
-            slowest = sorted(timeline, key=lambda t: -t.duration_s)[:5]
-            lines.append("  slowest task attempts:")
-            for t in slowest:
-                flags = "".join(
-                    [" [covered]" if t.index_full_cover else "", " [backup]" if t.backup else ""]
-                )
-                lines.append(
-                    f"    {t.task_id} on {t.worker_id}: {t.duration_s * 1000:.2f} ms, "
-                    f"{t.io_bytes_modeled / 1e6:.1f} MB{flags}"
-                )
-        return "\n".join(lines)
+        return render(job.plan, job)
 
     # -- SmartIndex personalization ----------------------------------------------
 

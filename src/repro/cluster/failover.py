@@ -17,6 +17,7 @@ replays any remaining log and takes over.
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass, field
 from typing import Any, Callable, Generic, List, Optional, Tuple, TypeVar
 
@@ -43,13 +44,27 @@ class PrimaryBackup(Generic[S]):
     the caller's contract (all our cluster state ops are deterministic).
     """
 
-    def __init__(self, sim: Simulator, make_state: Callable[[], S], name: str = "component"):
+    def __init__(
+        self,
+        sim: Simulator,
+        make_state: Callable[[], S],
+        name: str = "component",
+        checkpoint_interval_ops: Optional[int] = None,
+    ):
         self.sim = sim
         self.name = name
         self._make_state = make_state
         self._primary: Optional[_Replica[S]] = _Replica(make_state())
         self._shadow: Optional[_Replica[S]] = _Replica(make_state())
         self._log: List[Tuple[Callable[..., None], Tuple[Any, ...]]] = []
+        #: Ops folded into the checkpoint; log entry i is global op
+        #: ``_log_base + i``.  The log holds only the checkpoint's tail,
+        #: so it no longer grows without bound across a long-lived master.
+        self._log_base = 0
+        self._checkpoint_state: Optional[S] = None
+        #: Auto-checkpoint (sync + truncate) once the tail reaches this
+        #: many ops; None = only explicit sync_shadow() checkpoints.
+        self.checkpoint_interval_ops = checkpoint_interval_ops
         self.failovers = 0
 
     # -- writes ------------------------------------------------------------
@@ -62,6 +77,11 @@ class PrimaryBackup(Generic[S]):
         op(self._primary.state, *args)
         self._primary.applied += 1
         self._replicate()
+        if (
+            self.checkpoint_interval_ops is not None
+            and len(self._log) >= self.checkpoint_interval_ops
+        ):
+            self.sync_shadow()
 
     def _replicate(self) -> None:
         """Stream the op log to the shadow, keeping lag bounded."""
@@ -72,16 +92,30 @@ class PrimaryBackup(Generic[S]):
 
     def _catch_up_one(self) -> None:
         assert self._shadow is not None
-        op, args = self._log[self._shadow.applied]
+        op, args = self._log[self._shadow.applied - self._log_base]
         op(self._shadow.state, *args)
         self._shadow.applied += 1
 
     def sync_shadow(self) -> None:
-        """Drain the full log into the shadow (periodic checkpoint)."""
+        """Drain the full log into the shadow, then checkpoint.
+
+        After the drain both replicas agree, so the op log's only
+        remaining consumer is a *future* shadow bootstrap — which the
+        checkpoint now serves.  The log is therefore truncated here,
+        bounding its memory to one checkpoint interval's tail.
+        """
         if self._shadow is None:
             return
         while self._shadow.applied < self._primary.applied:
             self._catch_up_one()
+        self._checkpoint_state = copy.deepcopy(self._primary.state)
+        self._log_base = self._primary.applied
+        self._log = []
+
+    @property
+    def log_length(self) -> int:
+        """Ops retained in the in-memory tail (post-checkpoint)."""
+        return len(self._log)
 
     # -- reads ----------------------------------------------------------------
 
@@ -116,15 +150,24 @@ class PrimaryBackup(Generic[S]):
             raise ClusterStateError(f"{self.name}: lost both replicas")
         # The shadow replays from the durable op log — not from the dead
         # primary — so recovery needs only the log entries it missed.
-        while self._shadow.applied < len(self._log):
+        while self._shadow.applied < self._log_base + len(self._log):
             self._catch_up_one()
         self._primary = self._shadow
         self._shadow = None
         self.failovers += 1
 
     def start_new_shadow(self) -> None:
-        """Bring up a fresh shadow from a checkpoint (full log replay)."""
-        replica: _Replica[S] = _Replica(self._make_state())
+        """Bring up a fresh shadow from checkpoint-plus-tail.
+
+        Bootstraps from the last checkpoint (if any) and replays only the
+        log tail recorded since — not the component's full history.
+        """
+        if self._checkpoint_state is not None:
+            replica: _Replica[S] = _Replica(
+                copy.deepcopy(self._checkpoint_state), applied=self._log_base
+            )
+        else:
+            replica = _Replica(self._make_state(), applied=self._log_base)
         for op, args in self._log:
             op(replica.state, *args)
             replica.applied += 1

@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.engine.executor import QueryResult, TaskResult
+from repro.obs.trace import Tracer
 from repro.planner.physical import PhysicalPlan, ScanTask
 from repro.sim.events import Event, Simulator
 
@@ -49,6 +50,9 @@ class JobOptions:
     #: indicators".  The result's ``processed_ratio`` reports the actual
     #: fraction; aggregates are over the sample (indicators, not exact).
     sample_block_ratio: Optional[float] = None
+    #: Collect a per-query span tree (``job.trace``).  Off by default:
+    #: the disabled path allocates no spans at all.
+    trace: bool = False
 
 
 @dataclass
@@ -117,6 +121,8 @@ class Job:
     stats: JobStats = field(default_factory=JobStats)
     #: Per-task-attempt execution records, in completion order.
     task_timeline: List[TaskTiming] = field(default_factory=list)
+    #: Span tree over the simulated clock (None unless ``options.trace``).
+    trace: Optional[Tracer] = None
 
     @property
     def response_time_s(self) -> float:
@@ -135,6 +141,9 @@ def new_job(user: str, sql: str, plan: PhysicalPlan, options: JobOptions, now: f
     )
     job.stats.tasks_total = len(plan.tasks)
     job.stats.pruned_blocks = plan.pruned_blocks
+    if options.trace:
+        job.trace = Tracer(job.job_id)
+        job.trace.begin("job", now, sql=sql, user=user, tasks=len(plan.tasks))
     return job
 
 

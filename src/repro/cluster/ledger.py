@@ -50,9 +50,15 @@ def _record_finish(state: Dict, entry_fields: tuple) -> None:
 class JobLedger:
     """Durable job history behind a primary/backup pair."""
 
-    def __init__(self, sim: Simulator):
+    def __init__(self, sim: Simulator, checkpoint_interval_ops: int = 256):
         self.sim = sim
-        self._pb: PrimaryBackup[Dict] = PrimaryBackup(sim, dict, name="job-ledger")
+        # The checkpoint interval bounds the op log: every N ops the
+        # shadow is drained, the state checkpointed and the log truncated
+        # to its tail — a long-lived master's ledger no longer grows
+        # linearly with every job ever run.
+        self._pb: PrimaryBackup[Dict] = PrimaryBackup(
+            sim, dict, name="job-ledger", checkpoint_interval_ops=checkpoint_interval_ops
+        )
 
     # -- writes (called by the master) --------------------------------------
 
@@ -85,3 +91,8 @@ class JobLedger:
     @property
     def failovers(self) -> int:
         return self._pb.failovers
+
+    @property
+    def log_length(self) -> int:
+        """Retained op-log tail length (bounded by the checkpoint interval)."""
+        return self._pb.log_length

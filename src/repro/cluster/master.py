@@ -51,6 +51,54 @@ from repro.sql.parser import parse
 MAX_TASK_ATTEMPTS = 4
 
 
+def _straggler_watchdog(
+    sim: Simulator,
+    deadline_for,
+    done: Event,
+    attempts: List[Event],
+    estimates: List[float],
+    launch_times: List[float],
+    launch,
+) -> Generator[Event, None, None]:
+    """Back up the *newest in-flight* attempt once it is overdue.
+
+    Watches one attempt at a time.  When its deadline passes:
+
+    * a newer attempt exists (retry after failure, launched by the
+      supervisor's completion callback) → rebase the deadline on it
+      instead of speculating against a clock that no longer matters;
+    * the watched attempt already failed at this very instant → yield
+      once at zero delay so the failure callback can schedule its retry,
+      then rebase (or stop if the task resolved / no retry appeared);
+    * otherwise the attempt is a genuine straggler → launch one backup.
+
+    The shared ``attempts``/``estimates``/``launch_times`` lists are the
+    supervisor's own records; ``launch`` is its placement closure.
+    """
+    watched = 0
+    while not done.triggered:
+        target = launch_times[watched] + deadline_for(estimates[watched])
+        if target > sim.now:
+            yield sim.timeout(target - sim.now)
+        if done.triggered:
+            return
+        newest = len(attempts) - 1
+        if newest != watched:
+            watched = newest
+            continue
+        if attempts[watched].triggered:
+            # Failed attempt; its retry (if any) is scheduled behind us
+            # in this timestamp's callback queue.  One zero-delay yield
+            # lets it appear — looping without it would spin forever.
+            yield sim.timeout(0.0)
+            if done.triggered or len(attempts) - 1 == watched:
+                return
+            watched = len(attempts) - 1
+            continue
+        launch()
+        return
+
+
 class EntryGuard:
     """The system's entry point: authentication, authorization, quota."""
 
@@ -212,6 +260,8 @@ class Master:
         """Move a job from the candidate queue into execution."""
         self._running_jobs += 1
         job.started_at = self.sim.now
+        if job.trace is not None and job.trace.root is not None:
+            job.trace.root.tag("queued_s", job.started_at - job.submitted_at)
         self._active[job.job_id] = (job, done)
         if self.ledger is not None:
             self.ledger.record_submitted(job.job_id, job.user, job.sql, job.submitted_at)
@@ -227,6 +277,12 @@ class Master:
 
     def _record_terminal(self, job: Job) -> None:
         self._active.pop(job.job_id, None)
+        if job.trace is not None and job.trace.root is not None:
+            # Close the root and clamp any attempt spans a timeout or
+            # cancel left open; root duration == job.response_time_s.
+            end = job.finished_at if job.finished_at is not None else self.sim.now
+            job.trace.root.tag("status", job.status.value)
+            job.trace.root.finish_tree(end)
         if self.ledger is not None:
             if job.started_at is None:
                 # A job aborted straight from the candidate queue was
@@ -336,11 +392,19 @@ class Master:
     def _job_process(self, job: Job, done: Event) -> Generator[Event, None, None]:
         job.status = JobStatus.RUNNING
         plan = job.plan
+        root = job.trace.root if job.trace is not None else None
+        fetch_span = None
+        if root is not None and plan.broadcasts:
+            fetch_span = root.child("fetch_broadcasts", self.sim.now)
         try:
-            broadcasts = yield from self._fetch_broadcasts(plan)
+            broadcasts = yield from self._fetch_broadcasts(plan, span=fetch_span)
         except FeisuError as exc:
+            if fetch_span is not None:
+                fetch_span.tag("error", str(exc)).finish(self.sim.now)
             self._finish_failed(job, done, exc)
             return
+        if fetch_span is not None:
+            fetch_span.finish(self.sim.now)
 
         tasks = self._sampled_tasks(plan, job.options)
         total = len(tasks)
@@ -471,14 +535,20 @@ class Master:
     # -- broadcast tables ----------------------------------------------------------
 
     def _fetch_broadcasts(
-        self, plan: PhysicalPlan
+        self, plan: PhysicalPlan, span=None
     ) -> Generator[Event, None, Dict[str, Frame]]:
         """Read each joined dimension table once and charge its movement."""
         broadcasts: Dict[str, Frame] = {}
+        moved_bytes = 0
         for bc in plan.broadcasts:
             table = self.catalog.get(bc.table_name)
             columns = read_table_frame(
-                self.router, table, list(bc.columns), cred=self.service_credential, now=self.sim.now
+                self.router,
+                table,
+                list(bc.columns),
+                cred=self.service_credential,
+                now=self.sim.now,
+                span=span,
             )
             frame = Frame.from_columns(columns)
             for ref in table.blocks:
@@ -486,15 +556,21 @@ class Master:
                 replicas = system.locations(inner)
                 if replicas and self.address not in replicas:
                     source = min(replicas, key=lambda r: self.net.distance(r, self.address))
+                    nbytes = int(ref.bytes_for(bc.columns) * ref.scale_factor)
+                    moved_bytes += nbytes
                     yield send(
                         self.sim,
                         self.net,
                         source,
                         self.address,
-                        int(ref.bytes_for(bc.columns) * ref.scale_factor),
+                        nbytes,
                         TrafficClass.READ,
                     )
             broadcasts[bc.binding] = frame
+        if span is not None:
+            span.tag("tables", [bc.table_name for bc in plan.broadcasts])
+            span.tag("bytes", moved_bytes)
+            span.tag("traffic_class", "read")
         return broadcasts
 
     @staticmethod
@@ -518,6 +594,7 @@ class Master:
         attempts: List[Event] = []
         excluded: List[str] = []
         estimates: List[float] = []
+        launch_times: List[float] = []
         failures = [0]
 
         def on_attempt(ev: Event) -> None:
@@ -541,10 +618,12 @@ class Master:
                 return False
             excluded.append(placement.leaf.worker_id)
             estimates.append(placement.estimate_s)
+            launch_times.append(self.sim.now)
             proc = self.sim.process(
                 self._task_flow(
                     job, task, placement, broadcasts, sent_broadcast_to,
                     is_backup=bool(attempts),
+                    attempt_index=len(attempts),
                 ),
                 name=f"{task.task_id}.attempt{len(attempts)}",
             )
@@ -558,12 +637,16 @@ class Master:
             done.fail(SchedulingError(f"no leaf available for {task.task_id}"))
             return
 
-        # Straggler watchdog: launch a backup if the first attempt is
-        # overdue past the cost-model estimate (§III-C backup tasks).
+        # Straggler watchdog: launch a backup if the newest in-flight
+        # attempt is overdue past its cost-model estimate (§III-C backup
+        # tasks).  The deadline rebases whenever a retry replaces a
+        # failed attempt — firing on attempt 0's clock after attempt 0
+        # already failed would double up on a retry that just started.
         if job.options.enable_backup:
-            yield self.sim.timeout(self.scheduler.backup_deadline(estimates[0]))
-            if not done.triggered:
-                _launch()
+            yield from _straggler_watchdog(
+                self.sim, self.scheduler.backup_deadline, done,
+                attempts, estimates, launch_times, _launch,
+            )
         if not done.triggered:
             yield done
 
@@ -575,52 +658,101 @@ class Master:
         broadcasts: Dict[str, Frame],
         sent_broadcast_to: Set[str],
         is_backup: bool = False,
+        attempt_index: int = 0,
     ) -> Generator[Event, None, TaskResult]:
         leaf = placement.leaf
         attempt_started = self.sim.now
-        # Dispatch flows down the tree — master [→ dc stem] → rack stem →
-        # leaf — on the control class (§III-B: stems "further dissect the
-        # plan to the leaf servers"; §V-C: task dispatch is control flow).
-        hop_from = self.address
-        for stem in reversed(self._aggregation_path(leaf.address)):
-            yield send(
-                self.sim, self.net, hop_from, stem.address, DISPATCH_BASE_BYTES, TrafficClass.CONTROL
-            )
-            hop_from = stem.address
-        yield send(
-            self.sim, self.net, hop_from, leaf.address, DISPATCH_BASE_BYTES, TrafficClass.CONTROL
-        )
-        # First task on this leaf for a join query ships the dimensions
-        # (write data flow: intermediate data, §V-C).
-        if broadcasts and leaf.worker_id not in sent_broadcast_to:
-            sent_broadcast_to.add(leaf.worker_id)
-            yield send(
-                self.sim,
-                self.net,
-                self.address,
-                leaf.address,
-                self._broadcast_bytes(broadcasts),
-                TrafficClass.WRITE,
-            )
-        result = yield from leaf.run_task(task, job.plan, broadcasts)
-        modeled = result.modeled_payload_bytes()
-        if modeled > job.options.spill_threshold_bytes:
-            # §V-C write flow: too-big results are dumped to global
-            # storage and only the location information is passed.
-            result = yield from self._spill_result(job, task, leaf, result, modeled)
-        else:
-            # Result summarized bottom-up through every live internal
-            # node: leaf → rack stem [→ dc stem] → master (read flow).
-            payload = result.payload_bytes()
-            hop_from = leaf.address
-            for stem in self._aggregation_path(leaf.address):
-                yield send(self.sim, self.net, hop_from, stem.address, payload, TrafficClass.READ)
-                result = yield from stem.merge(result)
+        root = job.trace.root if job.trace is not None else None
+        if root is not None and root.end_s is not None:
+            root = None  # job already resolved; don't trace the straggler
+        span = None
+        if root is not None:
+            span = root.child(f"task.attempt{attempt_index}", attempt_started)
+            span.tag("task_id", task.task_id)
+            span.tag("worker", leaf.worker_id)
+            span.tag("data_local", placement.data_local)
+            span.tag("backup", is_backup)
+            span.tag("estimate_s", placement.estimate_s)
+        try:
+            # Dispatch flows down the tree — master [→ dc stem] → rack stem →
+            # leaf — on the control class (§III-B: stems "further dissect the
+            # plan to the leaf servers"; §V-C: task dispatch is control flow).
+            dispatch_span = span.child("dispatch", self.sim.now) if span is not None else None
+            hops = 0
+            hop_from = self.address
+            for stem in reversed(self._aggregation_path(leaf.address)):
+                yield send(
+                    self.sim, self.net, hop_from, stem.address, DISPATCH_BASE_BYTES, TrafficClass.CONTROL
+                )
                 hop_from = stem.address
-            yield send(self.sim, self.net, hop_from, self.address, payload, TrafficClass.READ)
-        yield send(
-            self.sim, self.net, leaf.address, self.address, STATUS_BYTES, TrafficClass.CONTROL
-        )
+                hops += 1
+            yield send(
+                self.sim, self.net, hop_from, leaf.address, DISPATCH_BASE_BYTES, TrafficClass.CONTROL
+            )
+            hops += 1
+            if dispatch_span is not None:
+                dispatch_span.tag("hops", hops)
+                dispatch_span.tag("bytes", DISPATCH_BASE_BYTES * hops)
+                dispatch_span.tag("traffic_class", "control")
+                dispatch_span.finish(self.sim.now)
+            # First task on this leaf for a join query ships the dimensions
+            # (write data flow: intermediate data, §V-C).
+            if broadcasts and leaf.worker_id not in sent_broadcast_to:
+                sent_broadcast_to.add(leaf.worker_id)
+                ship_bytes = self._broadcast_bytes(broadcasts)
+                ship_span = span.child("broadcast_ship", self.sim.now) if span is not None else None
+                yield send(
+                    self.sim,
+                    self.net,
+                    self.address,
+                    leaf.address,
+                    ship_bytes,
+                    TrafficClass.WRITE,
+                )
+                if ship_span is not None:
+                    ship_span.tag("bytes", ship_bytes)
+                    ship_span.tag("traffic_class", "write")
+                    ship_span.finish(self.sim.now)
+            result = yield from leaf.run_task(task, job.plan, broadcasts, span=span)
+            modeled = result.modeled_payload_bytes()
+            return_span = span.child("result_return", self.sim.now) if span is not None else None
+            if modeled > job.options.spill_threshold_bytes:
+                # §V-C write flow: too-big results are dumped to global
+                # storage and only the location information is passed.
+                result = yield from self._spill_result(job, task, leaf, result, modeled)
+                if return_span is not None:
+                    return_span.tag("spilled", True)
+                    return_span.tag("bytes", modeled)
+                    return_span.tag("traffic_class", "write")
+            else:
+                # Result summarized bottom-up through every live internal
+                # node: leaf → rack stem [→ dc stem] → master (read flow).
+                payload = result.payload_bytes()
+                stems_crossed = 0
+                hop_from = leaf.address
+                for stem in self._aggregation_path(leaf.address):
+                    yield send(self.sim, self.net, hop_from, stem.address, payload, TrafficClass.READ)
+                    result = yield from stem.merge(result)
+                    hop_from = stem.address
+                    stems_crossed += 1
+                yield send(self.sim, self.net, hop_from, self.address, payload, TrafficClass.READ)
+                if return_span is not None:
+                    return_span.tag("spilled", False)
+                    return_span.tag("bytes", payload)
+                    return_span.tag("traffic_class", "read")
+                    return_span.tag("stems", stems_crossed)
+            yield send(
+                self.sim, self.net, leaf.address, self.address, STATUS_BYTES, TrafficClass.CONTROL
+            )
+            if return_span is not None:
+                return_span.finish(self.sim.now)
+        except BaseException as exc:
+            if span is not None:
+                span.tag("error", str(exc))
+            raise
+        finally:
+            if span is not None:
+                span.finish_tree(self.sim.now)
         job.task_timeline.append(
             TaskTiming(
                 task_id=task.task_id,

@@ -12,7 +12,7 @@ can be "horizontally scaled" away from the master, as §VII recounts.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from repro.cluster.messages import WorkerLoad
 from repro.errors import ClusterStateError
@@ -35,6 +35,8 @@ class WorkerRecord:
     last_heartbeat: float = 0.0
     load: WorkerLoad = field(default_factory=WorkerLoad)
     alive: bool = True
+    #: Times this worker came back after being declared dead.
+    readmitted: int = 0
 
 
 class ClusterManager:
@@ -44,6 +46,8 @@ class ClusterManager:
         self.sim = sim
         self._workers: Dict[str, WorkerRecord] = {}
         self.heartbeats_received = 0
+        self.readmissions = 0
+        self._readmit_listeners: List[Callable[[str], None]] = []
 
     def register(self, worker_id: str, address: NodeAddress, is_stem: bool = False) -> None:
         if worker_id in self._workers:
@@ -52,12 +56,26 @@ class ClusterManager:
             worker_id, address, is_stem, last_heartbeat=self.sim.now
         )
 
+    def on_readmit(self, listener: Callable[[str], None]) -> None:
+        """Subscribe to explicit re-admissions (scheduler notification)."""
+        self._readmit_listeners.append(listener)
+
     def heartbeat(self, worker_id: str, load: WorkerLoad) -> None:
         record = self._record(worker_id)
+        was_dead = not record.alive
         record.last_heartbeat = self.sim.now
         record.load = load
         record.alive = True
         self.heartbeats_received += 1
+        if was_dead:
+            # A late heartbeat from a worker sweep() already declared
+            # dead used to silently resurrect it — the scheduler had
+            # rescheduled its tasks and never learned it was back.
+            # Re-admission is now an explicit, observable event.
+            record.readmitted += 1
+            self.readmissions += 1
+            for listener in self._readmit_listeners:
+                listener(worker_id)
 
     def sweep(self) -> List[str]:
         """Mark overdue workers dead; returns newly dead worker ids."""

@@ -10,7 +10,7 @@ outcomes across the deployment.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.cluster.jobs import JobStatus
 
@@ -117,3 +117,54 @@ def collect_metrics(cluster) -> ClusterMetrics:
     m.jobs_queued = cluster.master.queued_jobs
     m.results_spilled = sum(j.stats.results_spilled for j in jobs)
     return m
+
+
+class MetricsTimeSeries:
+    """Rolling :func:`collect_metrics` samples over the simulated clock.
+
+    A periodic sampler process snapshots the cluster every ``period_s``
+    simulated seconds and keeps samples inside the ``retention_s``
+    window.  Sampling is read-only — it inspects counters and device
+    state without touching the event loop's outcomes — but the sampler
+    does add its own timer events, so it is opt-in (see
+    :meth:`repro.core.feisu.FeisuCluster.start_metrics_sampler`) and
+    never runs during the committed figure benchmarks.
+    """
+
+    def __init__(self, cluster, period_s: float = 5.0, retention_s: float = 3600.0):
+        self.cluster = cluster
+        self.period_s = float(period_s)
+        self.retention_s = float(retention_s)
+        self.samples: List[ClusterMetrics] = []
+        self.samples_taken = 0
+        self.samples_evicted = 0
+        self._proc = None
+
+    def start(self) -> "MetricsTimeSeries":
+        if self._proc is None:
+            self._proc = self.cluster.sim.process(self._run(), name="metrics.sampler")
+        return self
+
+    def _run(self):
+        while True:
+            yield self.cluster.sim.timeout(self.period_s)
+            self.samples.append(collect_metrics(self.cluster))
+            self.samples_taken += 1
+            cutoff = self.cluster.sim.now - self.retention_s
+            while self.samples and self.samples[0].sim_time_s < cutoff:
+                self.samples.pop(0)
+                self.samples_evicted += 1
+
+    def latest(self) -> Optional[ClusterMetrics]:
+        return self.samples[-1] if self.samples else None
+
+    def series(self, key: str) -> List[float]:
+        """One metric's values across the retained samples."""
+        return [s.as_dict()[key] for s in self.samples]
+
+    def timestamps(self) -> List[float]:
+        return [s.sim_time_s for s in self.samples]
+
+    def export(self) -> List[Dict[str, float]]:
+        """JSON-ready list of sample dicts (benchmark-harness surface)."""
+        return [s.as_dict() for s in self.samples]

@@ -64,8 +64,8 @@ class LeafServer:
         net: NetworkTopology,
         router: StorageRouter,
         cluster_manager: ClusterManager,
-        cost_model: CostModel = CostModel(),
-        config: LeafConfig = LeafConfig(),
+        cost_model: Optional[CostModel] = None,
+        config: Optional[LeafConfig] = None,
     ):
         self.sim = sim
         self.worker_id = worker_id
@@ -73,8 +73,11 @@ class LeafServer:
         self.net = net
         self.router = router
         self.cluster_manager = cluster_manager
-        self.cost_model = cost_model
-        self.config = config
+        # Per-instance defaults: a shared def-time CostModel()/LeafConfig()
+        # would leak mutations across every leaf in every cluster.
+        self.cost_model = cost_model if cost_model is not None else CostModel()
+        self.config = config if config is not None else LeafConfig()
+        config = self.config
         self.alive = True
 
         self.disk = Disk(sim, name=f"{worker_id}.disk")
@@ -210,14 +213,25 @@ class LeafServer:
         task: ScanTask,
         plan: PhysicalPlan,
         broadcast_frames: Dict[str, Frame],
+        span=None,
     ) -> Generator[Event, None, TaskResult]:
-        """Generator process executing one scan task on this leaf."""
+        """Generator process executing one scan task on this leaf.
+
+        ``span`` (a :class:`~repro.obs.trace.Span` for this attempt, or
+        None) gains ``queue_wait`` / ``scan`` / ``aggregate`` children;
+        span bookkeeping is plain object mutation and never touches the
+        event loop, so tracing cannot perturb simulated timing.
+        """
         if not self.alive:
             raise ClusterStateError(f"{self.worker_id} is down")
         system, inner = self.router.resolve(task.block.path)
         slot = self._slots[system.name]
         self.queued_tasks += 1
+        wait_span = span.child("queue_wait", self.sim.now) if span is not None else None
         yield slot.request()
+        if wait_span is not None:
+            wait_span.tag("storage", system.name)
+            wait_span.finish(self.sim.now)
         self.queued_tasks -= 1
         self.running_tasks += 1
         try:
@@ -231,13 +245,32 @@ class LeafServer:
                 index_manager=self.index_manager,
                 btree_provider=self._btree_provider(block) if self.config.enable_btree else None,
                 now=self.sim.now,
+                span=span,
             )
             report = result.report
 
             if report.io_bytes > 0:
+                scan_span = span.child("scan", self.sim.now) if span is not None else None
                 yield from self._charge_io(task, system, inner, payload, report)
+                if scan_span is not None:
+                    scan_span.tag("io_bytes_modeled", report.modeled_io_bytes)
+                    scan_span.tag("seeks", report.io_seeks)
+                    scan_span.tag("rows_in", report.rows_in_block)
+                    scan_span.tag("rows_out", report.rows_matched)
+                    scan_span.finish(self.sim.now)
+            elif span is not None:
+                # Fully index-covered: record a zero-IO scan span so the
+                # rows still show up in EXPLAIN ANALYZE totals.
+                span.child("scan", self.sim.now).tag("io_bytes_modeled", 0).tag(
+                    "rows_in", report.rows_in_block
+                ).tag("rows_out", report.rows_matched).finish(self.sim.now)
             if report.modeled_cpu_ops > 0:
+                cpu_name = "aggregate" if plan.is_aggregate else "project"
+                cpu_span = span.child(cpu_name, self.sim.now) if span is not None else None
                 yield self.cpu.compute(report.modeled_cpu_ops)
+                if cpu_span is not None:
+                    cpu_span.tag("cpu_ops_modeled", report.modeled_cpu_ops)
+                    cpu_span.finish(self.sim.now)
             if not self.alive:
                 raise ClusterStateError(f"{self.worker_id} died mid-task")
             self.tasks_completed += 1

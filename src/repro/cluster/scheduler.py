@@ -50,22 +50,33 @@ class JobScheduler:
         cluster_manager: ClusterManager,
         net: NetworkTopology,
         router: StorageRouter,
-        cost_model: CostModel = CostModel(),
+        cost_model: Optional[CostModel] = None,
         locality_aware: bool = True,
     ):
         self.cluster_manager = cluster_manager
         self.net = net
         self.router = router
-        self.cost_model = cost_model
+        # A `CostModel()` *default argument* would be evaluated once at
+        # def time and shared by every scheduler — ablation tweaks to its
+        # rates would leak across clusters.  Construct per instance.
+        self.cost_model = cost_model if cost_model is not None else CostModel()
         #: Ablation switch: False falls back to round-robin placement.
         self.locality_aware = locality_aware
         self._leaves: Dict[str, LeafServer] = {}
         self._rr = 0
         self.placements_local = 0
         self.placements_remote = 0
+        #: Workers explicitly re-admitted after being declared dead
+        #: (wired to :meth:`ClusterManager.on_readmit`).
+        self.readmitted_workers: List[str] = []
 
     def register_leaf(self, leaf: LeafServer) -> None:
         self._leaves[leaf.worker_id] = leaf
+
+    def note_readmission(self, worker_id: str) -> None:
+        """Cluster-manager callback: a dead-marked worker heartbeat again
+        and is placeable once more."""
+        self.readmitted_workers.append(worker_id)
 
     def leaves(self) -> List[LeafServer]:
         return list(self._leaves.values())

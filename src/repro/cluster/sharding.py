@@ -15,7 +15,7 @@ connection budget.  It is a drop-in replacement for
 from __future__ import annotations
 
 import hashlib
-from typing import List, Optional
+from typing import Callable, List, Optional
 
 from repro.cluster.membership import ClusterManager, WorkerRecord
 from repro.cluster.messages import WorkerLoad
@@ -43,6 +43,7 @@ class ShardedClusterManager:
         self.shard_capacity = shard_capacity
         self._shards: List[ClusterManager] = [ClusterManager(sim) for _ in range(shards)]
         self._route: dict = {}
+        self._readmit_listeners: List[Callable[[str], None]] = []
 
     @property
     def shard_count(self) -> int:
@@ -60,9 +61,21 @@ class ShardedClusterManager:
         """Scale out.  Existing workers keep their shard (their heartbeat
         connection is already established); new registrations spread over
         the larger pool."""
-        self._shards.append(ClusterManager(self.sim))
+        shard = ClusterManager(self.sim)
+        for listener in self._readmit_listeners:
+            shard.on_readmit(listener)
+        self._shards.append(shard)
         # Future routing decisions hash over the new shard count; cached
         # routes pin existing workers in place.
+
+    def on_readmit(self, listener: Callable[[str], None]) -> None:
+        self._readmit_listeners.append(listener)
+        for shard in self._shards:
+            shard.on_readmit(listener)
+
+    @property
+    def readmissions(self) -> int:
+        return sum(s.readmissions for s in self._shards)
 
     # -- ClusterManager interface ------------------------------------------
 

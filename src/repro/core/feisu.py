@@ -103,6 +103,9 @@ class FeisuCluster:
             CostModel(),
             locality_aware=self.config.locality_aware,
         )
+        # Explicit re-admission: a worker heartbeating back after being
+        # declared dead is surfaced to the scheduler, not silently revived.
+        self.cluster_manager.on_readmit(self.scheduler.note_readmission)
         from repro.cluster.ledger import JobLedger
 
         self.job_ledger = JobLedger(self.sim)
@@ -382,6 +385,21 @@ class FeisuCluster:
         from repro.cluster.metrics import collect_metrics
 
         return collect_metrics(self)
+
+    def start_metrics_sampler(self, period_s: float = 5.0, retention_s: float = 3600.0):
+        """Start a rolling metrics time series (periodic snapshots with
+        retention); returns the :class:`~repro.cluster.metrics.MetricsTimeSeries`.
+
+        Opt-in: the sampler adds its own timer events to the simulation,
+        so deployments that need bit-identical event ordering (the figure
+        benchmarks) simply never start it.
+        """
+        from repro.cluster.metrics import MetricsTimeSeries
+
+        self.metrics_series = MetricsTimeSeries(
+            self, period_s=period_s, retention_s=retention_s
+        ).start()
+        return self.metrics_series
 
     def explain(self, sql: str) -> str:
         """Render the physical plan the master would produce for ``sql``."""

@@ -150,8 +150,13 @@ def execute_scan_task(
     index_manager: Optional[SmartIndexManager] = None,
     btree_provider: Optional[BTreeProvider] = None,
     now: float = 0.0,
+    span=None,
 ) -> TaskResult:
-    """Run one scan task against its (already fetched) block."""
+    """Run one scan task against its (already fetched) block.
+
+    ``span`` is the attempt's :class:`~repro.obs.trace.Span` (or None);
+    the index probe is recorded as a child and the row counts as tags.
+    """
     report = TaskExecutionReport(
         task_id=task.task_id,
         rows_in_block=block.num_rows,
@@ -160,7 +165,9 @@ def execute_scan_task(
     cnf = plan.scan_cnf
     analyzed = plan.analyzed
 
-    mask, missing = _filter_mask(task, cnf, block, index_manager, btree_provider, now, report)
+    mask, missing = _filter_mask(
+        task, cnf, block, index_manager, btree_provider, now, report, span=span
+    )
 
     payload_columns = _payload_columns(task, plan)
     if report.index_full_cover and mask is not None and not mask.any():
@@ -221,6 +228,7 @@ def _filter_mask(
     btree_provider: Optional[BTreeProvider],
     now: float,
     report: TaskExecutionReport,
+    span=None,
 ) -> Tuple[Optional[np.ndarray], List[Clause]]:
     """Resolve as much of the scan filter as possible without scanning."""
     if not cnf.clauses:
@@ -228,11 +236,17 @@ def _filter_mask(
     mask_bv = None
     missing = list(cnf.clauses)
     if index_manager is not None:
-        mask_bv, missing = index_manager.cover(block.block_id, cnf, now)
+        probe = span.child("index_probe", now) if span is not None else None
+        mask_bv, missing = index_manager.cover(block.block_id, cnf, now, span=probe)
         covered = len(cnf.clauses) - len(missing)
         report.index_clause_hits += covered
         report.index_clause_misses += len(missing)
         report.cpu_ops += OPS_PER_INDEX_ROW * block.num_rows * max(covered, 0)
+        if probe is not None:
+            probe.tag("clauses", len(cnf.clauses))
+            probe.tag("covered", covered)
+            probe.tag("full_cover", not missing)
+            probe.finish(now)
         if not missing:
             report.index_full_cover = True
             full = mask_bv.to_bool_array() if mask_bv is not None else None

@@ -38,9 +38,11 @@ class Recommendation:
 class IndexAdvisor:
     """Scores history predicates against catalog statistics."""
 
-    def __init__(self, catalog: Catalog, cost_model: CostModel = CostModel()):
+    def __init__(self, catalog: Catalog, cost_model: Optional[CostModel] = None):
         self.catalog = catalog
-        self.cost_model = cost_model
+        # Per-instance default: a def-time CostModel() would be shared
+        # by every advisor and leak calibration tweaks between them.
+        self.cost_model = cost_model if cost_model is not None else CostModel()
 
     def _saved_seconds(self, table_name: str, predicate_key: str) -> float:
         """Scan bytes + predicate ops a full-cover hit avoids, in seconds."""

@@ -209,7 +209,7 @@ class SmartIndexManager:
         return result
 
     def cover(
-        self, block_id: str, cnf: ConjunctiveForm, now: float
+        self, block_id: str, cnf: ConjunctiveForm, now: float, span=None
     ) -> Tuple[Optional[BitVector], List[Clause]]:
         """Try to answer a whole scan filter from the cache.
 
@@ -221,7 +221,15 @@ class SmartIndexManager:
         The TTL sweep runs exactly once per cover call (not once per
         atom), so a multi-clause CNF probe does not multiply sweep cost;
         see ``stats.ttl_sweeps``.
+
+        ``span`` (a :class:`~repro.obs.trace.Span`, or None) is tagged
+        with this probe's hit/miss deltas.
         """
+        before = (
+            (self.stats.hits, self.stats.complement_hits, self.stats.misses)
+            if span is not None
+            else None
+        )
         self._expire(now)
         mask: Optional[BitVector] = None
         missing: List[Clause] = []
@@ -231,6 +239,10 @@ class SmartIndexManager:
                 missing.append(clause)
             else:
                 mask = vec if mask is None else (mask & vec)
+        if before is not None:
+            span.tag("atom_hits", self.stats.hits - before[0])
+            span.tag("complement_hits", self.stats.complement_hits - before[1])
+            span.tag("atom_misses", self.stats.misses - before[2])
         return mask, missing
 
     def insert(self, block_id: str, atom: AtomicPredicate, mask: np.ndarray, now: float) -> None:

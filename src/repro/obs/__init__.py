@@ -1,0 +1,5 @@
+"""Observability: per-query trace spans over the simulated clock (S47)."""
+
+from .trace import Span, Tracer
+
+__all__ = ["Span", "Tracer"]

@@ -22,6 +22,7 @@ from repro.sql.ast import (
 from repro.sql.formatter import format_expression, format_query
 from repro.sql.lexer import Token, TokenType, tokenize
 from repro.sql.parser import parse, parse_expression
+from repro.sql.statements import classify_statement
 
 __all__ = [
     "AggregateCall",
@@ -44,6 +45,7 @@ __all__ = [
     "Token",
     "TokenType",
     "analyze",
+    "classify_statement",
     "format_expression",
     "format_query",
     "parse",

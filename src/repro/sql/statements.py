@@ -1,0 +1,29 @@
+"""CLI statement classification: EXPLAIN / EXPLAIN ANALYZE prefixes.
+
+The SQL grammar itself only knows queries; ``EXPLAIN`` and ``EXPLAIN
+ANALYZE`` are front-end directives stripped before parsing, the same
+split production Feisu's pluggable client tools made (§III-C).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+__all__ = ["classify_statement"]
+
+
+def classify_statement(text: str) -> Tuple[str, str]:
+    """Split a statement into ``(mode, body)``.
+
+    ``mode`` is ``"explain_analyze"``, ``"explain"`` or ``"query"``;
+    ``body`` is the SQL with any directive prefix removed.  Matching is
+    case-insensitive and whitespace-tolerant.
+    """
+    stripped = text.strip()
+    words = stripped.split(None, 2)
+    if words and words[0].upper() == "EXPLAIN":
+        if len(words) >= 2 and words[1].upper() == "ANALYZE":
+            return "explain_analyze", words[2] if len(words) > 2 else ""
+        rest = stripped[len(words[0]):].strip()
+        return "explain", rest
+    return "query", stripped
