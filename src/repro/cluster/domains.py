@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Generator, List, Optional, Tuple
 
+from repro.errors import FaultInjectedError
 from repro.sim.events import Event, Simulator
 from repro.sim.netmodel import NetworkTopology, NodeAddress, TrafficClass
 
@@ -156,7 +157,13 @@ class CrossDomainDirectory:
     def _loop(self) -> Generator[Event, None, None]:
         while True:
             yield self.sim.timeout(self.sync_period_s)
-            yield self.sim.process(self.sync_once(), name="cross-domain-round")
+            try:
+                yield self.sim.process(self.sync_once(), name="cross-domain-round")
+            except FaultInjectedError:
+                # A lost sync round must not kill replication forever: the
+                # versioned log is idempotent, so the updates this round
+                # failed to ship simply go out on the next period.
+                continue
 
     def converged(self) -> bool:
         return all(r.version == self.version for r in self._replicas.values())

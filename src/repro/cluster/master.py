@@ -432,7 +432,16 @@ class Master:
             elif early_ratio is not None and completed / total >= early_ratio:
                 job_gate.succeed()
 
-        def on_task(task: ScanTask):
+        def launch_own(task: ScanTask) -> Event:
+            supervisor_done = self.sim.event(name=f"{task.task_id}.done")
+            self.job_manager.track_task(task_signature(plan, task), supervisor_done)
+            self.sim.process(
+                self._task_supervisor(job, task, broadcasts, sent_broadcast_to, supervisor_done),
+                name=task.task_id,
+            )
+            return supervisor_done
+
+        def on_task(task: ScanTask, fallback_allowed: bool = False):
             def cb(ev: Event) -> None:
                 if job_gate.triggered:
                     return
@@ -441,6 +450,14 @@ class Master:
                     job.stats.absorb(ev.value)
                     if task.task_id in reused:
                         job.stats.tasks_reused += 1
+                elif fallback_allowed:
+                    # The shared task exhausted *another job's* attempt
+                    # budget; inheriting that failure with zero attempts of
+                    # our own turned one job's bad luck into every
+                    # piggybacker's.  Fall back to our own supervisor once.
+                    reused.discard(task.task_id)
+                    launch_own(task).add_callback(on_task(task))
+                    return
                 else:
                     failed.add(task.task_id)
                     job.stats.tasks_failed += 1
@@ -449,19 +466,12 @@ class Master:
             return cb
 
         for task in tasks:
-            sig = task_signature(plan, task)
-            shared = self.job_manager.lookup_task(sig)
+            shared = self.job_manager.lookup_task(task_signature(plan, task))
             if shared is not None:
                 reused.add(task.task_id)
-                shared.add_callback(on_task(task))
+                shared.add_callback(on_task(task, fallback_allowed=True))
                 continue
-            supervisor_done = self.sim.event(name=f"{task.task_id}.done")
-            self.job_manager.track_task(sig, supervisor_done)
-            self.sim.process(
-                self._task_supervisor(job, task, broadcasts, sent_broadcast_to, supervisor_done),
-                name=task.task_id,
-            )
-            supervisor_done.add_callback(on_task(task))
+            launch_own(task).add_callback(on_task(task))
 
         if job.options.max_time_s is not None:
             def deadline() -> None:

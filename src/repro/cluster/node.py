@@ -26,7 +26,7 @@ from repro.cluster.membership import HEARTBEAT_PERIOD_S, ClusterManager
 from repro.cluster.messages import HEARTBEAT_BYTES, WorkerLoad, send
 from repro.columnar.block import Block
 from repro.engine.executor import TaskResult, execute_scan_task
-from repro.errors import ClusterStateError, ExecutionError
+from repro.errors import ClusterStateError, ExecutionError, FaultInjectedError
 from repro.index.btree import BPlusTree
 from repro.index.smartindex import SmartIndexManager
 from repro.planner.cost import CostModel
@@ -79,6 +79,9 @@ class LeafServer:
         self.config = config if config is not None else LeafConfig()
         config = self.config
         self.alive = True
+        #: Fault-injection hook (:class:`repro.faults.FaultInjector`);
+        #: None keeps every interception point on its zero-cost branch.
+        self.faults = None
 
         self.disk = Disk(sim, name=f"{worker_id}.disk")
         self.ssd = Ssd(sim, name=f"{worker_id}.ssd")
@@ -177,15 +180,31 @@ class LeafServer:
             yield self.sim.timeout(HEARTBEAT_PERIOD_S)
             if not self.alive:
                 continue
+            if self.faults is not None and self.faults.heartbeat_suppressed(self.worker_id):
+                continue  # zombie: process alive, heartbeats lost in the fabric
             load = WorkerLoad(
                 running_tasks=self.running_tasks,
                 queued_tasks=self.queued_tasks,
                 disk_queue_s=self.disk.queue_delay(),
                 cpu_queue_s=self.cpu.queue_delay(),
             )
-            yield send(
-                self.sim, self.net, self.address, master_addr, HEARTBEAT_BYTES, TrafficClass.CONTROL
-            )
+            try:
+                yield send(
+                    self.sim,
+                    self.net,
+                    self.address,
+                    master_addr,
+                    HEARTBEAT_BYTES,
+                    TrafficClass.CONTROL,
+                )
+            except FaultInjectedError:
+                continue  # this beat never arrived; try again next period
+            if not self.alive:
+                # Crashed while the heartbeat was in flight.  However late
+                # the packet lands, a dead process must not report itself
+                # live — doing so resurrected corpses in the membership
+                # table after the sweep had already rescheduled their work.
+                continue
             self.cluster_manager.heartbeat(self.worker_id, load)
 
     # -- B+ tree baseline ---------------------------------------------------
@@ -293,17 +312,20 @@ class LeafServer:
         replicas = system.locations(inner)
         if not replicas:
             raise ExecutionError(f"no live replica for {task.block.path}")
+        first_byte = profile.first_byte_latency_s
+        if self.faults is not None:
+            first_byte += self.faults.storage_first_byte_extra(system.name, self.worker_id)
         if self.address in replicas:
-            if profile.first_byte_latency_s:
-                yield self.sim.timeout(profile.first_byte_latency_s)
+            if first_byte:
+                yield self.sim.timeout(first_byte)
             yield self.disk.read(
                 int(nbytes / profile.bandwidth_factor), seeks=report.io_seeks
             )
         else:
             # Remote read: source replica's storage latency + network path.
             source = min(replicas, key=lambda r: self.net.distance(r, self.address))
-            if profile.first_byte_latency_s:
-                yield self.sim.timeout(profile.first_byte_latency_s)
+            if first_byte:
+                yield self.sim.timeout(first_byte)
             yield self.net.transfer(source, self.address, nbytes, TrafficClass.READ)
         if self.ssd_cache is not None:
             self.ssd_cache.put(task.block.path, payload)
@@ -335,6 +357,8 @@ class StemServer:
         self.address = address
         self.net = net
         self.alive = True
+        #: Fault-injection hook; see :class:`LeafServer`.
+        self.faults = None
         self.cpu = Cpu(sim, name=f"{worker_id}.cpu")
         self.results_merged = 0
         cluster_manager.register(worker_id, address, is_stem=True)
@@ -352,9 +376,21 @@ class StemServer:
             yield self.sim.timeout(HEARTBEAT_PERIOD_S)
             if not self.alive:
                 continue
-            yield send(
-                self.sim, self.net, self.address, master_addr, HEARTBEAT_BYTES, TrafficClass.CONTROL
-            )
+            if self.faults is not None and self.faults.heartbeat_suppressed(self.worker_id):
+                continue
+            try:
+                yield send(
+                    self.sim,
+                    self.net,
+                    self.address,
+                    master_addr,
+                    HEARTBEAT_BYTES,
+                    TrafficClass.CONTROL,
+                )
+            except FaultInjectedError:
+                continue
+            if not self.alive:
+                continue  # died mid-flight; see LeafServer._heartbeat_loop
             cluster_manager.heartbeat(self.worker_id, WorkerLoad())
 
     def merge(self, result: TaskResult) -> Generator[Event, None, TaskResult]:

@@ -161,9 +161,25 @@ class FeisuCluster:
         )
         self.domain_directory.start()
 
+        #: Fault-injection layer (None = fault-free; every interception
+        #: point is behind an ``is not None`` guard, so this costs nothing).
+        self.fault_injector = None
+
         self._credentials: Dict[str, Credential] = {}
         self._default_user = "analyst"
         self.create_user(self._default_user, admin=True)
+
+    def install_faults(self, plan, seed: int = 0):
+        """Install a :class:`~repro.faults.plan.FaultPlan` on this cluster.
+
+        Lazily imports the fault layer so fault-free deployments never
+        load it; returns the :class:`~repro.faults.injector.FaultInjector`
+        (its ``records`` log is the scenario's replayable fingerprint).
+        """
+        from repro.faults.injector import FaultInjector
+
+        self.fault_injector = FaultInjector(self.sim, plan, seed=seed).install(self)
+        return self.fault_injector
 
     def _make_master(self) -> Master:
         return Master(

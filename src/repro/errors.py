@@ -94,3 +94,21 @@ class QueryCancelled(FeisuError):
 
 class IndexError_(FeisuError):
     """SmartIndex bookkeeping failure (corrupt entry, schema mismatch)."""
+
+
+class FaultInjectedError(FeisuError):
+    """A message or operation was killed by the fault-injection layer.
+
+    Raised (after the plan's RPC timeout) in place of a delivery that a
+    :class:`repro.faults.FaultPlan` dropped or partitioned away, so
+    recovery machinery sees the same sender-side failure a real RPC
+    timeout would produce.
+    """
+
+
+class InvariantViolation(FeisuError):
+    """A cluster-wide invariant was broken during a chaos scenario.
+
+    Carries the full violation report; the chaos harness attaches the
+    scenario seed so the failure is replayable.
+    """

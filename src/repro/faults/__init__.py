@@ -1,0 +1,46 @@
+"""Deterministic fault injection for the simulated cluster.
+
+Compose a :class:`FaultPlan` from primitives, install it on a
+:class:`~repro.core.feisu.FeisuCluster` with
+:meth:`~repro.core.feisu.FeisuCluster.install_faults`, and watch the
+recovery machinery earn its keep under an
+:class:`~repro.faults.invariants.InvariantMonitor`:
+
+    >>> plan = FaultPlan().add(
+    ...     CrashWindow("leaf-dc0/rack1/node2", at=0.5, restart_after=30.0),
+    ...     MessageDrop(0.05, cls=TrafficClass.CONTROL),
+    ... )                                                   # doctest: +SKIP
+    >>> injector = cluster.install_faults(plan, seed=7)     # doctest: +SKIP
+
+Everything is deterministic: (plan, seed) → identical fault log,
+identical event sequence, identical answers, every run.
+"""
+
+from repro.faults.injector import FaultInjector, FaultRecord
+from repro.faults.invariants import InvariantMonitor
+from repro.faults.plan import (
+    CrashWindow,
+    FaultPlan,
+    MessageDelay,
+    MessageDrop,
+    MessageDuplicate,
+    RackPartition,
+    SlowNode,
+    StorageStall,
+    ZombieWindow,
+)
+
+__all__ = [
+    "CrashWindow",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultRecord",
+    "InvariantMonitor",
+    "MessageDelay",
+    "MessageDrop",
+    "MessageDuplicate",
+    "RackPartition",
+    "SlowNode",
+    "StorageStall",
+    "ZombieWindow",
+]

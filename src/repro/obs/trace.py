@@ -62,6 +62,15 @@ class Span:
         self.children.append(span)
         return span
 
+    def event(self, name: str, now: float, **tags: Any) -> "Span":
+        """A zero-duration child marking a point occurrence (e.g. an
+        injected fault): opened, tagged and finished at ``now``."""
+        span = self.child(name, now)
+        for k, v in tags.items():
+            span.tag(k, v)
+        span.finish(now)
+        return span
+
     def tag(self, key: str, value: Any) -> "Span":
         self.tags[key] = _jsonable(value)
         return self

@@ -135,6 +135,9 @@ class NetworkTopology:
     def __init__(self, sim: Simulator, spec: TopologySpec):
         self.sim = sim
         self.spec = spec
+        #: Installed :class:`~repro.faults.injector.FaultInjector`, or
+        #: None — the default — in which case no fault code runs at all.
+        self.faults = None
         self._tor: Dict[Tuple[int, int], Link] = {}
         self._core: Dict[int, Link] = {}
         self._wan: Dict[Tuple[int, int], Link] = {}
@@ -192,8 +195,21 @@ class NetworkTopology:
         """Move ``nbytes`` from ``src`` to ``dst``; completion event.
 
         The transfer queues on its bottleneck link and pays propagation
-        latency on the rest of the path.
+        latency on the rest of the path.  This is the fault layer's RPC
+        interception point: with an injector installed, every message may
+        be dropped, delayed or duplicated per the active plan.
         """
+        if self.faults is not None:
+            return self.faults.intercept_transfer(self, src, dst, nbytes, cls)
+        return self._transfer(src, dst, nbytes, cls)
+
+    def _transfer(
+        self,
+        src: NodeAddress,
+        dst: NodeAddress,
+        nbytes: int,
+        cls: TrafficClass = TrafficClass.READ,
+    ) -> Event:
         links = self.path(src, dst)
         if not links:
             return self.sim.timeout(0.0, name="local-transfer")

@@ -1,0 +1,84 @@
+"""Pinned regressions: cluster-state bugs the chaos matrix surfaced.
+
+Each test reconstructs the exact fault timing that exposed a real bug in
+the cluster code, and asserts the fixed behaviour.  Keep these green —
+they are the proof that the fix stays fixed.
+
+1. **Corpse resurrection** (``node.py`` heartbeat loops): a heartbeat
+   *already in flight* when its worker crashed used to land later and
+   re-admit the dead worker to the schedulable set.  The loops now
+   re-check ``self.alive`` after the send completes.
+2. **Reused-task failure coupling** (``master.py`` job admission): a job
+   piggybacking on an identical in-flight task inherited that task's
+   *failure* permanently — it burned another job's attempt budget and
+   failed without ever trying itself.  Reused tasks now fall back to a
+   supervisor of their own on failure.
+"""
+
+import pytest
+
+from repro.cluster.jobs import JobOptions, JobStatus
+from repro.faults import CrashWindow, FaultPlan, MessageDelay, MessageDrop
+from repro.sim.netmodel import TrafficClass
+
+pytestmark = pytest.mark.chaos
+
+
+def test_delayed_heartbeat_from_crashed_worker_stays_dead(harness, seed):
+    """Corpse resurrection, step by step: the victim's t=5 heartbeat is
+    held in the fabric for 25s; the victim crashes at t=6; the sweep
+    declares it dead at t=20; the stale beat lands at ~t=30.  A dead
+    process must NOT be re-admitted by its own ghost."""
+    victim = "leaf-dc0/rack1/node3"
+    harness.install(
+        FaultPlan().add(
+            MessageDelay(
+                extra_s=25.0,
+                cls=TrafficClass.CONTROL,
+                src=harness.leaf(victim).address,
+                at=4.0,
+                duration=2.0,
+            ),
+            CrashWindow(worker=victim, at=6.0),
+        )
+    )
+    manager = harness.cluster.cluster_manager
+    harness.sim.run(until=21.0)
+    assert not harness.leaf(victim).alive
+    assert not manager.is_alive(victim)  # swept dead at t=20
+    harness.sim.run(until=35.0)  # the stale beat has landed by now
+    assert harness.injector.delayed == 1  # ...and it really was in flight
+    assert manager.readmissions == 0, "a stale heartbeat resurrected a corpse"
+    assert not manager.is_alive(victim)
+    # The cluster still answers correctly without the dead leaf.
+    job = harness.run(harness.Q_GROUP)
+    assert job.status is JobStatus.SUCCEEDED, job.error
+    harness.finish("delayed_heartbeat_from_crashed_worker_stays_dead")
+
+
+def test_piggybacked_job_survives_shared_task_failure(harness, seed):
+    """Reused-task coupling, step by step: job A's dispatches all die in
+    a 5.5s total-loss window and A exhausts its four attempts by ~t=4.
+    Job B (same SQL, submitted at t=0.5) piggybacks on A's in-flight
+    tasks.  When those tasks fail, B must launch its own attempts — which
+    straddle the heal at t=5.5 and succeed — instead of inheriting A's
+    death with zero attempts of its own."""
+    harness.install(FaultPlan().add(MessageDrop(probability=1.0, at=0.0, duration=5.5)))
+    options = JobOptions(enable_backup=False)
+    job_a, done_a = harness.cluster.submit(harness.Q_COUNT, options=options)
+    harness.sim.run(until=0.5)
+    job_b, done_b = harness.cluster.submit(harness.Q_COUNT, options=options)
+    harness.sim.run_until_complete(done_a, limit=harness.sim.now + 60.0)
+    # The window outlives A's attempt budget.  (One task rides the exempt
+    # node-local path to the master-co-located leaf, so A dies as a
+    # partial-data timeout rather than a pure failure.)
+    assert job_a.status in (JobStatus.FAILED, JobStatus.TIMED_OUT)
+    assert job_a.error is not None
+    harness.sim.run_until_complete(done_b, limit=harness.sim.now + 60.0)
+    assert job_b.status is JobStatus.SUCCEEDED, (
+        f"piggybacked job inherited the shared task's failure: {job_b.error}"
+    )
+    assert job_b.finished_at > 5.5  # B's own post-heal attempts did the work
+    harness.monitor.check_job(job_a, sql=harness.Q_COUNT)
+    harness.monitor.check_job(job_b, sql=harness.Q_COUNT)
+    harness.finish("piggybacked_job_survives_shared_task_failure")

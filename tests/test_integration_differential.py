@@ -1,255 +1,19 @@
 """Differential testing: the distributed engine vs. a naive reference.
 
-A deliberately simple row-at-a-time interpreter executes the same SQL
-over the same data; results must match exactly (modulo float tolerance
-and row order for unordered queries).  Queries are generated randomly
-across the dialect's feature space.
+The reference interpreter lives in :mod:`_oracle` (shared with the soak
+test and the chaos matrix); queries here are generated randomly across
+the dialect's feature space and must match it exactly (modulo float
+tolerance and row order for unordered queries).
 """
 
-import math
 import random
 
-import numpy as np
 import pytest
 
-from repro.sql.ast import (
-    AggregateCall,
-    BinaryOp,
-    BinaryOperator,
-    Column,
-    FunctionCall,
-    Literal,
-    Negate,
-    NotOp,
-    Star,
-)
-from repro.sql.parser import parse
-
-# -- the naive reference engine ---------------------------------------------
-
-
-def _ref_scalar(expr, row):
-    if isinstance(expr, Literal):
-        return expr.value
-    if isinstance(expr, Column):
-        if expr.table is not None:
-            return row[f"{expr.table}.{expr.name}"]
-        return row[expr.name]
-    if isinstance(expr, Negate):
-        return -_ref_scalar(expr.operand, row)
-    if isinstance(expr, NotOp):
-        return not _ref_scalar(expr.operand, row)
-    if isinstance(expr, FunctionCall):
-        args = [_ref_scalar(a, row) for a in expr.args]
-        return {
-            "LENGTH": lambda: len(args[0]),
-            "LOWER": lambda: args[0].lower(),
-            "UPPER": lambda: args[0].upper(),
-            "ABS": lambda: abs(args[0]),
-        }[expr.name]()
-    if isinstance(expr, BinaryOp):
-        op = expr.op
-        if op is BinaryOperator.AND:
-            return bool(_ref_scalar(expr.left, row)) and bool(_ref_scalar(expr.right, row))
-        if op is BinaryOperator.OR:
-            return bool(_ref_scalar(expr.left, row)) or bool(_ref_scalar(expr.right, row))
-        left, right = _ref_scalar(expr.left, row), _ref_scalar(expr.right, row)
-        return {
-            BinaryOperator.EQ: lambda: left == right,
-            BinaryOperator.NE: lambda: left != right,
-            BinaryOperator.LT: lambda: left < right,
-            BinaryOperator.LE: lambda: left <= right,
-            BinaryOperator.GT: lambda: left > right,
-            BinaryOperator.GE: lambda: left >= right,
-            BinaryOperator.CONTAINS: lambda: right in left,
-            BinaryOperator.ADD: lambda: left + right,
-            BinaryOperator.SUB: lambda: left - right,
-            BinaryOperator.MUL: lambda: left * right,
-            BinaryOperator.DIV: lambda: left / right if right != 0 else math.inf * (1 if left > 0 else -1) if left != 0 else math.nan,
-            BinaryOperator.MOD: lambda: left % right if right != 0 else math.nan,
-        }[op]()
-    raise AssertionError(f"reference engine: unhandled node {expr}")
-
-
-def _ref_aggregate(func, values):
-    if func == "COUNT":
-        return len(values)
-    if not values:
-        return None
-    if func == "SUM":
-        return sum(values)
-    if func == "AVG":
-        return sum(values) / len(values)
-    if func == "MIN":
-        return min(values)
-    if func == "MAX":
-        return max(values)
-    raise AssertionError(func)
-
-
-def _qualify(row, binding):
-    """One table's row with both bare and binding-qualified keys."""
-    out = dict(row)
-    for key, value in row.items():
-        out[f"{binding}.{key}"] = value
-    return out
-
-
-def _joined_rows(query, rows, join_tables):
-    """Nested-loop inner joins for the reference engine."""
-    base_binding = query.tables[0].binding
-    current = [_qualify(r, base_binding) for r in rows]
-    for join in query.joins:
-        binding = join.table.binding
-        dim_rows = [_qualify(r, binding) for r in join_tables[join.table.name]]
-        merged = []
-        for left in current:
-            for right in dim_rows:
-                # bare-name collisions resolve in favour of qualified use;
-                # generated queries qualify any shared column.
-                combined = {**right, **left}
-                combined.update({k: v for k, v in right.items() if "." in k})
-                if join.condition is None or _ref_scalar(join.condition, combined):
-                    merged.append(combined)
-        current = merged
-    return current
-
-
-def reference_execute(sql, rows, join_tables=None):
-    """Reference implementation over lists of row dicts.
-
-    ``join_tables`` maps table names to dimension rows for queries with
-    INNER JOINs (the only kind the generator emits).
-    """
-    query = parse(sql)
-    if query.joins:
-        rows = _joined_rows(query, rows, join_tables or {})
-    data = [r for r in rows if query.where is None or _ref_scalar(query.where, r)]
-    select_exprs = [item.expr for item in query.select_items]
-    aliases = {item.alias: item.expr for item in query.select_items if item.alias}
-
-    def dealias(expr):
-        if isinstance(expr, Column) and expr.table is None and expr.name in aliases:
-            return aliases[expr.name]
-        return expr
-
-    query = type(query)(
-        select_items=query.select_items,
-        tables=query.tables,
-        joins=query.joins,
-        where=query.where,
-        group_by=tuple(dealias(g) for g in query.group_by),
-        having=query.having,
-        order_by=query.order_by,
-        limit=query.limit,
-    )
-    aggregates = []
-    for expr in select_exprs + ([query.having] if query.having else []):
-        stack = [expr]
-        while stack:
-            node = stack.pop()
-            if isinstance(node, AggregateCall):
-                aggregates.append(node)
-            elif node is not None and hasattr(node, "children"):
-                stack.extend(node.children())
-    group_keys = list(query.group_by)
-    for agg in aggregates:
-        if agg.within is not None and agg.within not in group_keys:
-            group_keys.append(agg.within)
-
-    if aggregates or group_keys:
-        groups = {}
-        for r in data:
-            key = tuple(_ref_scalar(k, r) for k in group_keys)
-            groups.setdefault(key, []).append(r)
-        if not group_keys and not groups:
-            groups[()] = []  # global aggregate over zero rows: one row
-        out_rows = []
-        for key, members in groups.items():
-            env = dict(zip([str(k) for k in group_keys], key))
-
-            def agg_value(agg):
-                if isinstance(agg.argument, Star):
-                    return len(members)
-                value = _ref_aggregate(
-                    agg.func, [_ref_scalar(agg.argument, m) for m in members]
-                )
-                if value is not None:
-                    return value
-                # Mirror the engine's NULL-defaulting by output type.
-                if agg.func == "AVG":
-                    return math.nan
-                sample = _ref_scalar(agg.argument, rows[0]) if rows else 0
-                if isinstance(sample, float):
-                    return math.nan
-                if isinstance(sample, str):
-                    return ""
-                return 0
-
-            def expr_value(expr, rep):
-                if isinstance(expr, AggregateCall):
-                    return agg_value(expr)
-                if expr in group_keys:
-                    return key[group_keys.index(expr)]
-                if isinstance(expr, BinaryOp):
-                    # rebuild from parts (sufficient for generated queries)
-                    return _ref_scalar(expr, rep)
-                if isinstance(expr, Literal):
-                    return expr.value
-                return _ref_scalar(expr, rep)
-
-            rep = members[0] if members else {}
-            if query.having is not None:
-                h = query.having
-
-                def having_value(expr):
-                    if isinstance(expr, AggregateCall):
-                        return agg_value(expr)
-                    if isinstance(expr, BinaryOp):
-                        left = having_value(expr.left)
-                        right = having_value(expr.right)
-                        return _ref_scalar(
-                            BinaryOp(expr.op, Literal(left), Literal(right)), rep
-                        )
-                    if isinstance(expr, NotOp):
-                        return not having_value(expr.operand)
-                    return _ref_scalar(expr, rep)
-
-                if not having_value(h):
-                    continue
-            out_rows.append(tuple(expr_value(e, rep) for e in select_exprs))
-    else:
-        out_rows = [tuple(_ref_scalar(e, r) for e in select_exprs) for r in data]
-
-    alias_map = {
-        (item.alias or str(item.expr)): i for i, item in enumerate(query.select_items)
-    }
-    if query.order_by:
-        def sort_key(row):
-            parts = []
-            for item in query.order_by:
-                expr = item.expr
-                if isinstance(expr, Column) and expr.name in alias_map:
-                    v = row[alias_map[expr.name]]
-                else:
-                    v = row[alias_map.get(str(expr), 0)] if str(expr) in alias_map else None
-                parts.append(v)
-            return parts
-
-        # stable multi-key sort honoring per-key direction
-        for item, _ in zip(reversed(query.order_by), range(len(query.order_by))):
-            expr = item.expr
-            idx = alias_map.get(
-                expr.name if isinstance(expr, Column) else str(expr), None
-            )
-            assert idx is not None, "generated ORDER BY must target an output"
-            out_rows.sort(key=lambda r: r[idx], reverse=not item.ascending)
-    if query.limit is not None:
-        out_rows = out_rows[: query.limit]
-    return out_rows
-
+from tests._oracle import _match, _row_dicts, reference_execute
 
 # -- query generation -----------------------------------------------------------
+
 
 
 def _random_join_query(rng):
@@ -298,24 +62,6 @@ def _random_query(rng):
             f"GROUP BY k ORDER BY k LIMIT {rng.randint(1, 12)}"
         )
     return f"SELECT c1 AS a, c2 AS b FROM T{where} ORDER BY a, b LIMIT {rng.randint(1, 40)}"
-
-
-def _match(value_a, value_b):
-    if isinstance(value_a, float) or isinstance(value_b, float):
-        if value_a is None or value_b is None:
-            return value_a == value_b
-        if math.isnan(value_a) and math.isnan(value_b):
-            return True
-        return value_a == pytest.approx(value_b, rel=1e-9, abs=1e-9)
-    return value_a == value_b
-
-
-def _row_dicts(cols):
-    n = len(next(iter(cols.values())))
-    return [
-        {name: (arr[i].item() if arr.dtype != object else arr[i]) for name, arr in cols.items()}
-        for i in range(n)
-    ]
 
 
 @pytest.mark.parametrize("seed", range(8))

@@ -4,16 +4,21 @@ Not a micro-test — one scenario that exercises scheduling, SmartIndex
 churn, backup tasks, partial recovery and membership together: a stream
 of drill-down queries runs while leaves crash and recover underneath it.
 Invariants: the simulator never deadlocks, every admitted job reaches a
-terminal state, and every successful answer is exactly correct.
-"""
+terminal state, and every successful answer is exactly correct (checked
+against the shared reference oracle).
 
-import random
+All randomness flows through one seeded ``np.random.default_rng`` per
+test, so a failure is reproducible from the seed alone.  For seeded
+*fault plans* (network faults, zombies, partitions) see ``tests/chaos``.
+"""
 
 import numpy as np
 import pytest
 
 from repro import FeisuCluster, FeisuConfig, Schema, DataType
 from repro.cluster.jobs import JobStatus
+
+from tests._oracle import _row_dicts, reference_execute
 
 
 @pytest.fixture(scope="module")
@@ -36,13 +41,10 @@ def soak_env():
     return cluster, columns
 
 
-def _reference_count(columns, lo, hi):
-    return int(((columns["a"] >= lo) & (columns["a"] < hi)).sum())
-
-
 def test_soak_with_leaf_chaos(soak_env):
     cluster, columns = soak_env
-    rng = random.Random(4)
+    rng = np.random.default_rng(4)
+    rows = _row_dicts(columns)
     alive_floor = 4  # never kill below this many leaves
     crashed = []
     outcomes = {"ok": 0, "failed": 0, "wrong": 0}
@@ -52,18 +54,18 @@ def test_soak_with_leaf_chaos(soak_env):
         roll = rng.random()
         live = [leaf for leaf in cluster.leaves if leaf.alive]
         if roll < 0.25 and len(live) > alive_floor:
-            victim = rng.choice(live)
+            victim = live[int(rng.integers(len(live)))]
             victim.crash()
             crashed.append(victim)
         elif roll < 0.4 and crashed:
-            crashed.pop(rng.randrange(len(crashed))).recover()
+            crashed.pop(int(rng.integers(len(crashed)))).recover()
 
-        lo = rng.randrange(0, 35)
-        hi = lo + rng.randrange(1, 6)
+        lo = int(rng.integers(0, 35))
+        hi = lo + int(rng.integers(1, 6))
         sql = f"SELECT COUNT(*) FROM T WHERE a >= {lo} AND a < {hi}"
         job = cluster.query_job(sql)
         if job.status is JobStatus.SUCCEEDED and job.result.processed_ratio == 1.0:
-            expected = _reference_count(columns, lo, hi)
+            [(expected,)] = reference_execute(sql, rows)
             if job.result.rows()[0][0] == expected:
                 outcomes["ok"] += 1
             else:
@@ -88,7 +90,9 @@ def test_soak_index_stays_consistent_across_chaos(soak_env):
     cluster, columns = soak_env
     # After all the churn above, covered answers still match cold answers.
     warm = cluster.query("SELECT COUNT(*) FROM T WHERE a >= 5 AND a < 10")
-    expected = _reference_count(columns, 5, 10)
+    [(expected,)] = reference_execute(
+        "SELECT COUNT(*) FROM T WHERE a >= 5 AND a < 10", _row_dicts(columns)
+    )
     assert warm.rows()[0][0] == expected
     again = cluster.query("SELECT COUNT(*) FROM T WHERE a >= 5 AND NOT (a >= 10)")
     assert again.rows()[0][0] == expected
