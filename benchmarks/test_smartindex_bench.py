@@ -1,0 +1,51 @@
+"""Semantic SmartIndex benchmark gate (S49).
+
+Opt-in wall-clock gate: ``pytest -m smartbench benchmarks``.  Runs the
+semantic-index kernel suite once and asserts (a) the suite's built-in
+invariant — the interval-registry superset probe beats a linear scan of
+1k cached atoms by >= 5x — and (b) no kernel slower than 2x the
+committed ``BENCH_smartindex.json`` baseline.  Mirrors the kernelbench
+gate in ``test_microbench_components.py``.
+"""
+
+import json
+import os
+import sys
+
+import pytest
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+import smartindex_kernels as _sk  # noqa: E402
+
+BASELINE = os.path.join(os.path.dirname(__file__), "BENCH_smartindex.json")
+
+
+@pytest.fixture(scope="module")
+def smartindex_results():
+    return _sk.run_suite(repeat=3)
+
+
+@pytest.mark.smartbench
+def test_smartindex_acceptance(smartindex_results):
+    assert _sk.acceptance_failures(smartindex_results) == []
+
+
+@pytest.mark.smartbench
+def test_smartindex_baseline_regression(smartindex_results):
+    assert os.path.exists(BASELINE), (
+        "no committed baseline; run run_smartindex.py --update"
+    )
+    with open(BASELINE) as fh:
+        baseline = json.load(fh)["kernels"]
+    assert _sk.regressions(smartindex_results, baseline) == []
+
+
+@pytest.mark.smartbench
+def test_smartindex_baseline_schema():
+    with open(BASELINE) as fh:
+        doc = json.load(fh)
+    assert doc["schema_version"] == 1
+    assert set(doc["kernels"]) == set(_sk.KERNELS)
+    for metrics in doc["kernels"].values():
+        assert metrics["wall_s"] > 0

@@ -47,6 +47,10 @@ class LeafConfig:
     index_memory_bytes: int = 512 * 1024 * 1024
     index_ttl_s: float = 72 * 3600.0
     index_compress: bool = True
+    #: Semantic probe layer + cost-aware cache (subsumption, residual
+    #: candidate scans, benefit-per-byte eviction).  Off by default: the
+    #: committed paper figures use the exact/complement-only manager.
+    index_semantic: bool = False
     enable_btree: bool = False
     enable_ssd_cache: bool = False
     ssd_cache_bytes: int = 400 * 1024 * 1024 * 1024
@@ -93,6 +97,7 @@ class LeafServer:
                 memory_budget_bytes=config.index_memory_bytes,
                 ttl_s=config.index_ttl_s,
                 compress=config.index_compress,
+                semantic=config.index_semantic,
             )
             if config.enable_smartindex
             else None
@@ -276,6 +281,16 @@ class LeafServer:
                     scan_span.tag("seeks", report.io_seeks)
                     scan_span.tag("rows_in", report.rows_in_block)
                     scan_span.tag("rows_out", report.rows_matched)
+                    if report.index_residual_clauses:
+                        scan_span.tag("residual_clauses", report.index_residual_clauses)
+                        scan_span.tag(
+                            "residual_fraction",
+                            round(
+                                report.index_residual_fraction
+                                / report.index_residual_clauses,
+                                4,
+                            ),
+                        )
                     scan_span.finish(self.sim.now)
             elif span is not None:
                 # Fully index-covered: record a zero-IO scan span so the

@@ -380,6 +380,10 @@ class FeisuCluster:
             total.creations += mgr.stats.creations
             total.evictions_lru += mgr.stats.evictions_lru
             total.evictions_ttl += mgr.stats.evictions_ttl
+            total.subsumption_hits += mgr.stats.subsumption_hits
+            total.residual_hits += mgr.stats.residual_hits
+            total.admission_rejects += mgr.stats.admission_rejects
+            total.evictions_cost += mgr.stats.evictions_cost
         return total
 
     def index_memory_used(self) -> int:

@@ -39,13 +39,14 @@ from repro.engine.operators import (
 )
 from repro.errors import ExecutionError
 from repro.index.btree import BPlusTree
-from repro.index.smartindex import SmartIndexManager
+from repro.index.smartindex import ResidualClause, SmartIndexManager
 from repro.planner.cnf import Clause, ConjunctiveForm
 from repro.planner.cost import (
     OPS_PER_COMPARISON,
     OPS_PER_CONTAINS,
     OPS_PER_DECODE,
     OPS_PER_INDEX_ROW,
+    atom_saved_seconds,
 )
 from repro.planner.expressions import Frame, evaluate, make_qualified_resolver
 from repro.planner.physical import PhysicalPlan, ScanTask
@@ -82,6 +83,13 @@ class TaskExecutionReport:
     index_clause_misses: int = 0
     btree_clauses: int = 0
     scale_factor: float = 1.0
+    #: Semantic-index extras (zero unless the manager runs semantic=True):
+    #: atoms answered by bitmap-algebra composition, clauses answered by
+    #: a candidate mask, and the summed candidate row fraction of those
+    #: clauses (mean = sum / clauses).
+    index_subsumption_hits: int = 0
+    index_residual_clauses: int = 0
+    index_residual_fraction: float = 0.0
 
     @property
     def modeled_io_bytes(self) -> float:
@@ -165,7 +173,7 @@ def execute_scan_task(
     cnf = plan.scan_cnf
     analyzed = plan.analyzed
 
-    mask, missing = _filter_mask(
+    mask, missing, residuals = _filter_mask(
         task, cnf, block, index_manager, btree_provider, now, report, span=span
     )
 
@@ -176,12 +184,21 @@ def execute_scan_task(
     else:
         read_columns = payload_columns if report.index_full_cover else list(task.columns)
         if read_columns:
-            report.io_bytes += block.column_bytes(read_columns)
+            if residuals:
+                io_bytes, decode_ops = _semantic_read_costs(
+                    block, read_columns, residuals, missing, payload_columns
+                )
+                report.io_bytes += io_bytes
+                report.cpu_ops += decode_ops
+            else:
+                report.io_bytes += block.column_bytes(read_columns)
+                report.cpu_ops += OPS_PER_DECODE * block.num_rows * len(read_columns)
             report.io_seeks += 1
-            report.cpu_ops += OPS_PER_DECODE * block.num_rows * len(read_columns)
         frame = scan_block(block, read_columns) if read_columns else Frame({}, block.num_rows)
         if missing:
             mask = _evaluate_missing(missing, frame, mask, index_manager, task, now, report)
+        if residuals:
+            mask = _evaluate_residuals(residuals, frame, mask, index_manager, task, now, report)
         if mask is not None:
             frame = apply_filter(frame, mask)
             frame = frame.select(payload_columns)
@@ -229,28 +246,50 @@ def _filter_mask(
     now: float,
     report: TaskExecutionReport,
     span=None,
-) -> Tuple[Optional[np.ndarray], List[Clause]]:
-    """Resolve as much of the scan filter as possible without scanning."""
+) -> Tuple[Optional[np.ndarray], List[Clause], List[ResidualClause]]:
+    """Resolve as much of the scan filter as possible without scanning.
+
+    Returns ``(mask, missing, residuals)``; ``residuals`` is only ever
+    non-empty for a semantic-mode index manager — clauses answered with
+    a candidate superset mask that :func:`_evaluate_residuals` finishes
+    on candidate rows only.
+    """
     if not cnf.clauses:
-        return None, []
+        return None, [], []
     mask_bv = None
     missing = list(cnf.clauses)
+    residuals: List[ResidualClause] = []
     if index_manager is not None:
         probe = span.child("index_probe", now) if span is not None else None
-        mask_bv, missing = index_manager.cover(block.block_id, cnf, now, span=probe)
-        covered = len(cnf.clauses) - len(missing)
+        if index_manager.semantic:
+            before_sub = index_manager.stats.subsumption_hits
+            mask_bv, missing, residuals = index_manager.cover_semantic(
+                block.block_id, cnf, now, span=probe
+            )
+            report.index_subsumption_hits += (
+                index_manager.stats.subsumption_hits - before_sub
+            )
+            report.index_residual_clauses += len(residuals)
+            report.index_residual_fraction += sum(r.fraction for r in residuals)
+        else:
+            mask_bv, missing = index_manager.cover(block.block_id, cnf, now, span=probe)
+        covered = len(cnf.clauses) - len(missing) - len(residuals)
         report.index_clause_hits += covered
         report.index_clause_misses += len(missing)
-        report.cpu_ops += OPS_PER_INDEX_ROW * block.num_rows * max(covered, 0)
+        # Candidate-mask application costs the same bitvector pass as a
+        # covered clause.
+        report.cpu_ops += OPS_PER_INDEX_ROW * block.num_rows * max(
+            covered + len(residuals), 0
+        )
         if probe is not None:
             probe.tag("clauses", len(cnf.clauses))
             probe.tag("covered", covered)
-            probe.tag("full_cover", not missing)
+            probe.tag("full_cover", not missing and not residuals)
             probe.finish(now)
-        if not missing:
+        if not missing and not residuals:
             report.index_full_cover = True
             full = mask_bv.to_bool_array() if mask_bv is not None else None
-            return full, []
+            return full, [], []
     # Try the B+ tree baseline for still-missing single-atom clauses.
     if btree_provider is not None:
         still_missing: List[Clause] = []
@@ -268,11 +307,15 @@ def _filter_mask(
 
                 mask_bv = BitVector.from_bool_array(combined)
         missing = still_missing
-        if not missing and mask_bv is not None:
+        if not missing and not residuals and mask_bv is not None:
             # All clauses answered by B+ trees: same scan-skipping benefit.
             report.index_full_cover = True
-            return mask_bv.to_bool_array(), []
-    return (mask_bv.to_bool_array() if mask_bv is not None else None), missing
+            return mask_bv.to_bool_array(), [], []
+    return (
+        (mask_bv.to_bool_array() if mask_bv is not None else None),
+        missing,
+        residuals,
+    )
 
 
 def _btree_clause(
@@ -318,7 +361,16 @@ def _evaluate_missing(
             ops = OPS_PER_CONTAINS if atom.op is BinaryOperator.CONTAINS else OPS_PER_COMPARISON
             report.cpu_ops += ops * len(values)
             if index_manager is not None:
-                index_manager.insert(task.block.block_id, atom, atom_mask, now)
+                if index_manager.semantic:
+                    index_manager.insert(
+                        task.block.block_id,
+                        atom,
+                        atom_mask,
+                        now,
+                        saved_s=atom_saved_seconds(task.block, atom),
+                    )
+                else:
+                    index_manager.insert(task.block.block_id, atom, atom_mask, now)
             clause_mask = atom_mask if clause_mask is None else (clause_mask | atom_mask)
         for residual in clause.residuals:
             res_mask = evaluate(residual, frame).astype(np.bool_)
@@ -327,6 +379,101 @@ def _evaluate_missing(
         if clause_mask is None:
             raise ExecutionError("clause with neither atoms nor residuals")
         combined = clause_mask if combined is None else (combined & clause_mask)
+    assert combined is not None
+    return combined
+
+
+def _expr_columns(expr: Expr) -> set:
+    """Column names referenced anywhere in an expression tree."""
+    out: set = set()
+    stack = [expr]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, Column):
+            out.add(node.name)
+        else:
+            stack.extend(node.children())
+    return out
+
+
+def _semantic_read_costs(
+    block: Block,
+    read_columns: Sequence[str],
+    residuals: Sequence[ResidualClause],
+    missing: Sequence[Clause],
+    payload_columns: Sequence[str],
+) -> Tuple[int, float]:
+    """I/O bytes and decode ops for a scan with residual candidate masks.
+
+    A column referenced *only* by residual clauses is charged at that
+    clause's candidate fraction (the scan touches candidate rows only);
+    payload columns and anything a fully-missing clause needs are read
+    at full price, same as the non-semantic path.
+    """
+    fractions: Dict[str, float] = {}
+    for r in residuals:
+        for col in r.clause.columns:
+            fractions[col] = max(fractions.get(col, 0.0), r.fraction)
+    full_price = set(payload_columns)
+    for clause in missing:
+        full_price.update(clause.columns)
+        for expr in clause.residuals:
+            full_price.update(_expr_columns(expr))
+    io = 0.0
+    ops = 0.0
+    for col in read_columns:
+        nbytes = block.column_bytes([col])
+        if col in fractions and col not in full_price:
+            io += nbytes * fractions[col]
+            ops += OPS_PER_DECODE * block.num_rows * fractions[col]
+        else:
+            io += nbytes
+            ops += OPS_PER_DECODE * block.num_rows
+    return int(io), ops
+
+
+def _evaluate_residuals(
+    residuals: Sequence[ResidualClause],
+    frame: Frame,
+    mask: Optional[np.ndarray],
+    index_manager: Optional[SmartIndexManager],
+    task: ScanTask,
+    now: float,
+    report: TaskExecutionReport,
+) -> np.ndarray:
+    """Finish candidate-masked clauses by evaluating on candidate rows.
+
+    Every atom is evaluated over the candidate subset only and scattered
+    back into a zeroed full-length mask.  That scatter is *exact*: a row
+    where the atom holds satisfies the clause, and the candidate mask is
+    a superset of the clause's true-set, so no atom-true row sits
+    outside the candidate rows.  The scattered masks are therefore safe
+    to insert into the index as ordinary entries.
+    """
+    combined = mask
+    for r in residuals:
+        cand = r.mask.to_bool_array()
+        idx = np.flatnonzero(cand)
+        clause_sub = np.zeros(len(idx), dtype=np.bool_)
+        for atom in r.clause.atoms:
+            values = frame.column(atom.column)[idx]
+            sub = np.asarray(atom.evaluate(values), dtype=np.bool_)
+            ops = OPS_PER_CONTAINS if atom.op is BinaryOperator.CONTAINS else OPS_PER_COMPARISON
+            report.cpu_ops += ops * len(idx)
+            if index_manager is not None:
+                full_atom = np.zeros(len(cand), dtype=np.bool_)
+                full_atom[idx] = sub
+                index_manager.insert(
+                    task.block.block_id,
+                    atom,
+                    full_atom,
+                    now,
+                    saved_s=atom_saved_seconds(task.block, atom),
+                )
+            clause_sub |= sub
+        clause_full = np.zeros(len(cand), dtype=np.bool_)
+        clause_full[idx] = clause_sub
+        combined = clause_full if combined is None else (combined & clause_full)
     assert combined is not None
     return combined
 

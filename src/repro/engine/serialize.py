@@ -154,6 +154,9 @@ def serialize_result(result: TaskResult) -> bytes:
             "index_clause_misses": result.report.index_clause_misses,
             "btree_clauses": result.report.btree_clauses,
             "scale_factor": result.report.scale_factor,
+            "index_subsumption_hits": result.report.index_subsumption_hits,
+            "index_residual_clauses": result.report.index_residual_clauses,
+            "index_residual_fraction": result.report.index_residual_fraction,
         }
     ).encode()
     if result.frame is not None:
@@ -182,6 +185,10 @@ def deserialize_result(payload: bytes) -> TaskResult:
         index_clause_misses=rdoc["index_clause_misses"],
         btree_clauses=rdoc["btree_clauses"],
         scale_factor=rdoc["scale_factor"],
+        # .get(): spills written before the semantic index lack these.
+        index_subsumption_hits=rdoc.get("index_subsumption_hits", 0),
+        index_residual_clauses=rdoc.get("index_residual_clauses", 0),
+        index_residual_fraction=rdoc.get("index_residual_fraction", 0.0),
     )
     body = payload[5 + rlen :]
     if tag == _TAG_FRAME:

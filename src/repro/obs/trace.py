@@ -15,6 +15,12 @@ the tree mirrors the execution path::
        ├─ aggregate | project  (modeled CPU charge)
        └─ result_return     (READ bytes upstream, or spill)
 
+``index_probe`` tags ``atom_hits`` / ``complement_hits`` /
+``atom_misses`` always; with the semantic index enabled it adds
+``subsumption_hits``, ``residual_clauses``, and the mean candidate
+``residual_fraction``, and the ``scan`` span repeats the residual clause
+count and fraction when a candidate-mask partial scan ran.
+
 Everything is plain Python over values passed in from the caller — the
 module never touches the :class:`~repro.sim.events.Simulator`, so adding
 or exporting spans cannot perturb event ordering.  Tracing is off unless

@@ -28,7 +28,7 @@ from typing import List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from repro.errors import PlanError
-from repro.planner.expressions import string_contains
+from repro.planner.expressions import comparison_implies, contains_implies, string_contains
 from repro.sql.ast import (
     NEGATED,
     BinaryOp,
@@ -105,6 +105,22 @@ class AtomicPredicate:
         if self.op is BinaryOperator.CONTAINS:
             return AtomicPredicate(self.column, self.op, self.value, negated=not self.negated)
         return AtomicPredicate(self.column, _COMPLEMENT[self.op], self.value)
+
+    def implies(self, other: "AtomicPredicate") -> bool:
+        """True iff every row satisfying this atom satisfies ``other``.
+
+        Sound under numpy comparison semantics (NaN fails every ordered
+        comparison and ``==``, satisfies ``!=``), so a cached superset
+        vector found through this test is a valid candidate mask for a
+        residual scan.  Conservative: returns False when unsure.
+        """
+        if self.column != other.column:
+            return False
+        if self.op is BinaryOperator.CONTAINS or other.op is BinaryOperator.CONTAINS:
+            if self.op is not other.op or self.negated or other.negated:
+                return False
+            return contains_implies(str(self.value), str(other.value))
+        return comparison_implies(self.op, self.value, other.op, other.value)
 
     def evaluate(self, column_values: np.ndarray) -> np.ndarray:
         """Evaluate over one column array; returns a boolean vector."""

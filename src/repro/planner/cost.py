@@ -64,6 +64,21 @@ class CostModel:
         rows = task.block.modeled_rows
         return (OPS_PER_INDEX_ROW * rows * max(1, num_clauses)) / self.cpu_ops_per_sec
 
+    def residual_scan_seconds(
+        self, task: ScanTask, cnf: ConjunctiveForm, fraction: float
+    ) -> float:
+        """Estimate for a residual candidate-mask scan (semantic index).
+
+        The candidate fraction scales both the column read and the
+        predicate re-evaluation; the index pass over the candidate
+        vectors is charged in full.
+        """
+        fraction = min(max(fraction, 0.0), 1.0)
+        nbytes = task.block.bytes_for(task.columns) * task.block.scale_factor
+        io = self.disk_seek_s + fraction * nbytes / self.disk_bandwidth_bps
+        cpu = fraction * self.scan_cpu_seconds(task, cnf)
+        return io + cpu + self.index_cpu_seconds(task, max(1, len(cnf.clauses)))
+
     def task_seconds(
         self,
         task: ScanTask,
@@ -85,3 +100,18 @@ class CostModel:
             + self.scan_io_seconds(task, bandwidth_factor)
             + self.scan_cpu_seconds(task, cnf)
         )
+
+
+def atom_saved_seconds(block, atom, cost_model: "CostModel" = None) -> float:
+    """Scan-seconds one future hit on a cached atom vector saves.
+
+    The numerator of the semantic cache's benefit-per-byte score: the
+    per-row comparison plus decode CPU the hit skips, and the cached
+    atom's share of the block read (its own column's bytes).
+    """
+    cm = cost_model if cost_model is not None else CostModel()
+    rows = block.modeled_rows
+    ops = OPS_PER_CONTAINS if atom.op is BinaryOperator.CONTAINS else OPS_PER_COMPARISON
+    cpu = (ops + OPS_PER_DECODE) * rows / cm.cpu_ops_per_sec
+    io = block.bytes_for([atom.column]) * block.scale_factor / cm.disk_bandwidth_bps
+    return cpu + io

@@ -134,6 +134,20 @@ def explain_analyze(plan: PhysicalPlan, job, cost_model: Optional[CostModel] = N
                 f"{stats.index_clause_hits} clause hits, "
                 f"{stats.index_clause_misses} misses ({n_probe} probes)"
             )
+            if stats.index_subsumption_hits or stats.index_residual_clauses:
+                # Semantic-index line: only rendered when the flag-gated
+                # probe layer actually fired, so default-mode output is
+                # unchanged.
+                mean_fraction = (
+                    stats.index_residual_fraction_sum / stats.index_residual_clauses
+                    if stats.index_residual_clauses
+                    else 0.0
+                )
+                scan_lines.append(
+                    f"actual semantic: {stats.index_subsumption_hits} subsumption hits, "
+                    f"{stats.index_residual_clauses} residual clauses "
+                    f"(mean candidate fraction {mean_fraction:.3f})"
+                )
             scan_lines.append(f"actual queue wait: {wait_s:.4f}s over {n_wait} slot waits")
         else:
             scan_lines.append(

@@ -1,9 +1,9 @@
 #!/usr/bin/env python
-"""Dependency-free line-coverage gate for the cluster and fault layers.
+"""Dependency-free line-coverage gate for the cluster, fault and index layers.
 
 The container has no ``coverage``/``pytest-cov``, so this implements the
 minimum honestly: a ``sys.settrace`` hook records executed lines in
-``repro.cluster`` and ``repro.faults`` while the cluster-focused test
+``repro.cluster``, ``repro.faults`` and ``repro.index`` while the focused test
 suites run in-process, the denominator comes from each module's compiled
 ``co_lines()`` tables, and the gate fails if combined coverage drops
 below the floor.
@@ -30,6 +30,7 @@ SRC = os.path.join(ROOT, "src")
 TARGET_DIRS = (
     os.path.join(SRC, "repro", "cluster") + os.sep,
     os.path.join(SRC, "repro", "faults") + os.sep,
+    os.path.join(SRC, "repro", "index") + os.sep,
 )
 
 #: Test files that exercise the gated packages.
@@ -43,6 +44,10 @@ TEST_ARGS = [
     "tests/test_cluster_node.py",
     "tests/test_cluster_scheduler.py",
     "tests/test_cluster_state_fixes.py",
+    "tests/test_index_bitmap.py",
+    "tests/test_index_btree.py",
+    "tests/test_index_smartindex.py",
+    "tests/test_semantic_index_property.py",
     "tests/test_soak_chaos.py",
 ]
 
@@ -142,7 +147,7 @@ def main():
         if args.report and missed:
             print(f"{'':<{width}}  missed: {_ranges(missed)}")
     overall = total_hit / total_exec if total_exec else 1.0
-    print(f"\nTOTAL repro.cluster + repro.faults: {100.0 * overall:.1f}% "
+    print(f"\nTOTAL repro.cluster + repro.faults + repro.index: {100.0 * overall:.1f}% "
           f"({total_hit}/{total_exec} lines), floor {100.0 * args.floor:.4g}%")
     if args.report:
         return 0
