@@ -553,6 +553,7 @@ class Master:
         """Read each joined dimension table once and charge its movement."""
         broadcasts: Dict[str, Frame] = {}
         moved_bytes = 0
+        tiering = self.scheduler.tiering
         for bc in plan.broadcasts:
             table = self.catalog.get(bc.table_name)
             columns = read_table_frame(
@@ -562,10 +563,12 @@ class Master:
                 cred=self.service_credential,
                 now=self.sim.now,
                 span=span,
+                tiering=tiering,
             )
             frame = Frame.from_columns(columns)
             for ref in table.blocks:
-                system, inner = self.router.resolve(ref.path)
+                path = tiering.effective_path(ref.path) if tiering is not None else ref.path
+                system, inner = self.router.resolve(path)
                 replicas = system.locations(inner)
                 if replicas and self.address not in replicas:
                     source = min(replicas, key=lambda r: self.net.distance(r, self.address))

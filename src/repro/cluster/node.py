@@ -55,6 +55,10 @@ class LeafConfig:
     enable_ssd_cache: bool = False
     ssd_cache_bytes: int = 400 * 1024 * 1024 * 1024
     ssd_admit_preferred_only: bool = True
+    #: Heat-based adaptive tiering (S50): auto-derived SSD preferences,
+    #: cold→hot block promotion, scheduler placement hints.  Off by
+    #: default: the committed paper figures use static placement.
+    enable_tiering: bool = False
 
 
 class LeafServer:
@@ -86,6 +90,9 @@ class LeafServer:
         #: Fault-injection hook (:class:`repro.faults.FaultInjector`);
         #: None keeps every interception point on its zero-cost branch.
         self.faults = None
+        #: Tiering hook (:class:`repro.storage.tiering.TieringDaemon`);
+        #: None keeps reads on the catalog path with no heat recording.
+        self.tiering = None
 
         self.disk = Disk(sim, name=f"{worker_id}.disk")
         self.ssd = Ssd(sim, name=f"{worker_id}.ssd")
@@ -248,7 +255,12 @@ class LeafServer:
         """
         if not self.alive:
             raise ClusterStateError(f"{self.worker_id} is down")
-        system, inner = self.router.resolve(task.block.path)
+        block_path = (
+            self.tiering.effective_path(task.block.path)
+            if self.tiering is not None
+            else task.block.path
+        )
+        system, inner = self.router.resolve(block_path)
         slot = self._slots[system.name]
         self.queued_tasks += 1
         wait_span = span.child("queue_wait", self.sim.now) if span is not None else None
@@ -275,8 +287,10 @@ class LeafServer:
 
             if report.io_bytes > 0:
                 scan_span = span.child("scan", self.sim.now) if span is not None else None
-                yield from self._charge_io(task, system, inner, payload, report)
+                yield from self._charge_io(task, system, inner, block_path, payload, report)
                 if scan_span is not None:
+                    if self.tiering is not None:
+                        scan_span.tag("tier", self.tiering.tier_of(task.block.path))
                     scan_span.tag("io_bytes_modeled", report.modeled_io_bytes)
                     scan_span.tag("seeks", report.io_seeks)
                     scan_span.tag("rows_in", report.rows_in_block)
@@ -295,9 +309,12 @@ class LeafServer:
             elif span is not None:
                 # Fully index-covered: record a zero-IO scan span so the
                 # rows still show up in EXPLAIN ANALYZE totals.
-                span.child("scan", self.sim.now).tag("io_bytes_modeled", 0).tag(
+                covered_span = span.child("scan", self.sim.now).tag("io_bytes_modeled", 0).tag(
                     "rows_in", report.rows_in_block
-                ).tag("rows_out", report.rows_matched).finish(self.sim.now)
+                ).tag("rows_out", report.rows_matched)
+                if self.tiering is not None:
+                    covered_span.tag("tier", self.tiering.tier_of(task.block.path))
+                covered_span.finish(self.sim.now)
             if report.modeled_cpu_ops > 0:
                 cpu_name = "aggregate" if plan.is_aggregate else "project"
                 cpu_span = span.child(cpu_name, self.sim.now) if span is not None else None
@@ -314,19 +331,33 @@ class LeafServer:
             slot.release()
 
     def _charge_io(
-        self, task: ScanTask, system, inner: str, payload: bytes, report
+        self, task: ScanTask, system, inner: str, block_path: str, payload: bytes, report
     ) -> Generator[Event, None, None]:
-        """Charge the simulated time for this task's data access."""
+        """Charge the simulated time for this task's data access.
+
+        ``block_path`` is the *effective* full path (post tiering
+        redirect) keying the SSD cache; heat is recorded against the
+        original catalog path so it survives promotion transitions.
+        """
         nbytes = int(report.modeled_io_bytes)
         profile = system.profile
+        if self.tiering is not None:
+            self.tiering.record_access(
+                task.block.path, nbytes, reader=self.address, now=self.sim.now
+            )
         if self.ssd_cache is not None:
-            cached = self.ssd_cache.get(task.block.path)
+            cached = self.ssd_cache.get(block_path)
             if cached is not None:
-                yield self.ssd.read(nbytes, seeks=report.io_seeks)
-                return
+                if cached == payload:
+                    yield self.ssd.read(nbytes, seeks=report.io_seeks)
+                    return
+                # The block was rewritten since it was cached; serving the
+                # stale copy would return wrong rows.  Reclassify the hit
+                # and fall through to a real read.
+                self.ssd_cache.invalidate_stale(block_path)
         replicas = system.locations(inner)
         if not replicas:
-            raise ExecutionError(f"no live replica for {task.block.path}")
+            raise ExecutionError(f"no live replica for {block_path}")
         first_byte = profile.first_byte_latency_s
         if self.faults is not None:
             first_byte += self.faults.storage_first_byte_extra(system.name, self.worker_id)
@@ -343,7 +374,7 @@ class LeafServer:
                 yield self.sim.timeout(first_byte)
             yield self.net.transfer(source, self.address, nbytes, TrafficClass.READ)
         if self.ssd_cache is not None:
-            self.ssd_cache.put(task.block.path, payload)
+            self.ssd_cache.put(block_path, payload)
 
     # -- introspection --------------------------------------------------------
 

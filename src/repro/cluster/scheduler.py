@@ -62,6 +62,9 @@ class JobScheduler:
         self.cost_model = cost_model if cost_model is not None else CostModel()
         #: Ablation switch: False falls back to round-robin placement.
         self.locality_aware = locality_aware
+        #: Tiering hook (:class:`repro.storage.tiering.TieringDaemon`);
+        #: when set, placement follows the promoted replica set.
+        self.tiering = None
         self._leaves: Dict[str, LeafServer] = {}
         self._rr = 0
         self.placements_local = 0
@@ -86,6 +89,13 @@ class JobScheduler:
             if leaf.address == address:
                 return leaf
         return None
+
+    def _effective_path(self, task: ScanTask) -> str:
+        """The path the leaf will actually read — promoted hot copy when
+        the tiering daemon has published one, catalog path otherwise."""
+        if self.tiering is not None:
+            return self.tiering.effective_path(task.block.path)
+        return task.block.path
 
     # -- placement -----------------------------------------------------------
 
@@ -112,7 +122,7 @@ class JobScheduler:
             self._count(local)
             return Placement(leaf, local, self._estimate(leaf, task, cnf, local))
 
-        system, inner = self.router.resolve(task.block.path)
+        system, inner = self.router.resolve(self._effective_path(task))
         replica_addrs = set(system.locations(inner))
         local_candidates = [leaf for leaf in alive if leaf.address in replica_addrs]
         if local_candidates:
@@ -134,7 +144,7 @@ class JobScheduler:
         return Placement(leaf, False, self._estimate(leaf, task, cnf, False))
 
     def _is_local(self, leaf: LeafServer, task: ScanTask) -> bool:
-        system, inner = self.router.resolve(task.block.path)
+        system, inner = self.router.resolve(self._effective_path(task))
         return leaf.address in system.locations(inner)
 
     def _count(self, local: bool) -> None:
@@ -146,7 +156,7 @@ class JobScheduler:
     def _estimate(
         self, leaf: LeafServer, task: ScanTask, cnf: ConjunctiveForm, local: bool
     ) -> float:
-        system, _ = self.router.resolve(task.block.path)
+        system, _ = self.router.resolve(self._effective_path(task))
         est = self.cost_model.task_seconds(
             task,
             cnf,
@@ -155,7 +165,7 @@ class JobScheduler:
             extra_latency_s=system.profile.first_byte_latency_s,
         )
         if not local:
-            system, inner = self.router.resolve(task.block.path)
+            system, inner = self.router.resolve(self._effective_path(task))
             replicas = system.locations(inner)
             if replicas:
                 nbytes = task.block.bytes_for(task.columns) * task.block.scale_factor

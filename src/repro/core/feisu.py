@@ -152,6 +152,27 @@ class FeisuCluster:
                 self.stems.append(dc_stem)
                 self.master.register_dc_stem(dc_stem)
 
+        #: Heat-based adaptive tiering (S50); constructed and started only
+        #: when the flag is on so default deployments gain no simulation
+        #: events and committed figure results stay byte-identical.
+        self.tiering = None
+        if self.config.leaf.enable_tiering:
+            from repro.storage.tiering import TieringDaemon
+
+            self.tiering = TieringDaemon(
+                self.sim,
+                self.net,
+                self.router,
+                hot_system=self.storage_a,
+                cost_model=self.scheduler.cost_model,
+            )
+            self.scheduler.tiering = self.tiering
+            for leaf in self.leaves:
+                leaf.tiering = self.tiering
+                if leaf.ssd_cache is not None:
+                    self.tiering.attach_cache(leaf.ssd_cache)
+            self.tiering.start()
+
         # Cross-domain metadata sharing (§I): every datacenter keeps a
         # directory replica of schemas and grants, synced periodically.
         from repro.cluster.domains import CrossDomainDirectory

@@ -78,11 +78,19 @@ class InvariantMonitor:
     def check_replication(self) -> None:
         for name, (system, floor) in self._floors.items():
             for path in system.list_paths():
-                live = len(system.locations(path))
+                locs = system.locations(path)
+                live = len(locs)
                 if live < floor:
                     self._violate(
                         f"replication of {name}:{path} silently dropped to "
                         f"{live} < floor {floor}"
+                    )
+                if len(set(locs)) < live:
+                    # A retried migration/repair that re-appends the same
+                    # holder inflates the count without adding durability.
+                    self._violate(
+                        f"double-counted replica for {name}:{path}: "
+                        f"placement {locs} lists a node twice"
                     )
 
     # -- invariants 1, 2, 4: per-job checks -------------------------------

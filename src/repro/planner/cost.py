@@ -79,6 +79,22 @@ class CostModel:
         cpu = fraction * self.scan_cpu_seconds(task, cnf)
         return io + cpu + self.index_cpu_seconds(task, max(1, len(cnf.clauses)))
 
+    def tier_saved_seconds(self, nbytes: float, cold_profile, hot_profile) -> float:
+        """Scan-seconds one read saves after promotion cold → hot.
+
+        Profiles are duck-typed ``ServiceProfile``-likes (first-byte
+        latency + bandwidth factor) so the planner stays import-free of
+        the storage package.  The numerator of the tiering daemon's
+        benefit-per-byte score, mirroring :func:`atom_saved_seconds`.
+        """
+        cold_s = cold_profile.first_byte_latency_s + nbytes / (
+            self.disk_bandwidth_bps * cold_profile.bandwidth_factor
+        )
+        hot_s = hot_profile.first_byte_latency_s + nbytes / (
+            self.disk_bandwidth_bps * hot_profile.bandwidth_factor
+        )
+        return max(0.0, cold_s - hot_s)
+
     def task_seconds(
         self,
         task: ScanTask,

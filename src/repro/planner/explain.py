@@ -148,6 +148,12 @@ def explain_analyze(plan: PhysicalPlan, job, cost_model: Optional[CostModel] = N
                     f"{stats.index_residual_clauses} residual clauses "
                     f"(mean candidate fraction {mean_fraction:.3f})"
                 )
+            tiers = trace.tag_values("tier", "scan")
+            if tiers:
+                # Tiering line: the tag only exists when the flag-gated
+                # daemon is attached, so default-mode output is unchanged.
+                parts = ", ".join(f"{n} {t}" for t, n in sorted(tiers.items()))
+                scan_lines.append(f"actual tier: {parts}")
             scan_lines.append(f"actual queue wait: {wait_s:.4f}s over {n_wait} slot waits")
         else:
             scan_lines.append(

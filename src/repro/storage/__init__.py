@@ -11,10 +11,12 @@ from repro.storage.systems import (
     KeyValueStore,
     LocalFS,
 )
+from repro.storage.tiering import HeatTracker, TieringDaemon, TieringStats
 
 __all__ = [
     "DistributedFS",
     "FatmanFS",
+    "HeatTracker",
     "KeyValueStore",
     "LocalFS",
     "RepairReport",
@@ -23,6 +25,8 @@ __all__ = [
     "SsdCache",
     "StorageRouter",
     "StorageSystem",
+    "TieringDaemon",
+    "TieringStats",
     "load_block",
     "make_block_ref",
     "read_table_frame",

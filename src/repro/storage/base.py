@@ -105,6 +105,18 @@ class StorageSystem(abc.ABC):
         if node in replicas:
             replicas.remove(node)
 
+    def add_replica(self, path: str, node: NodeAddress) -> bool:
+        """Record an extra replica holder; idempotent (a node already in
+        the placement is not double-counted).  Returns whether added."""
+        try:
+            replicas = self._placement[path]
+        except KeyError:
+            raise PathError(f"{self.name}: no such path {path!r}") from None
+        if node in replicas:
+            return False
+        replicas.append(node)
+        return True
+
     @abc.abstractmethod
     def _place(
         self, path: str, nbytes: int, node: Optional[NodeAddress]

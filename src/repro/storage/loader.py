@@ -122,9 +122,16 @@ def make_block_ref(block: Block, full_path: str, payload: bytes) -> BlockRef:
     )
 
 
-def load_block(router: StorageRouter, ref: BlockRef, cred=None, now: float = 0.0) -> Block:
-    """Fetch and decode one block through the common storage layer."""
-    payload = router.read(ref.path, cred=cred, now=now)
+def load_block(
+    router: StorageRouter, ref: BlockRef, cred=None, now: float = 0.0, tiering=None
+) -> Block:
+    """Fetch and decode one block through the common storage layer.
+
+    ``tiering`` (a :class:`~repro.storage.tiering.TieringDaemon`, or
+    None) redirects the read to the promoted hot copy when one exists.
+    """
+    path = tiering.effective_path(ref.path) if tiering is not None else ref.path
+    payload = router.read(path, cred=cred, now=now)
     block = Block.from_bytes(payload)
     if block.block_id != ref.block_id:
         raise StorageError(
@@ -140,6 +147,7 @@ def read_table_frame(
     cred=None,
     now: float = 0.0,
     span=None,
+    tiering=None,
 ) -> Dict[str, np.ndarray]:
     """Materialize selected columns of a whole table (broadcast tables).
 
@@ -149,7 +157,7 @@ def read_table_frame(
     parts: Dict[str, list] = {c: [] for c in columns}
     read_bytes = 0
     for ref in table.blocks:
-        block = load_block(router, ref, cred=cred, now=now)
+        block = load_block(router, ref, cred=cred, now=now, tiering=tiering)
         read_bytes += ref.bytes_for(columns)
         for c in columns:
             parts[c].append(block.column(c))

@@ -79,7 +79,11 @@ class ReplicaRepairer:
                     break
                 source = min(survivors, key=lambda s: self.net.distance(s, target_node))
                 yield self.net.transfer(source, target_node, len(data), TrafficClass.WRITE)
-                self.system._placement[path].append(target_node)  # noqa: SLF001
+                if not self.system.exists(path):
+                    # Deleted (e.g. tiering demotion) while the copy was in
+                    # flight — nothing to repair any more.
+                    break
+                self.system.add_replica(path, target_node)
                 survivors = self.system.locations(path)
                 report.repairs_done += 1
                 report.bytes_copied += len(data)

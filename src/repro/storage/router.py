@@ -53,6 +53,10 @@ class StorageRouter:
             raise PathError(f"paths must be absolute, got {full_path!r}")
         parts = full_path.split("/", 2)
         prefix = parts[1] if len(parts) > 1 else ""
+        if full_path != "/" and not prefix:
+            # "//foo" has an empty scheme segment; silently routing it to
+            # the default FS makes a typo'd prefix unreachable forever.
+            raise PathError(f"empty scheme segment in {full_path!r}")
         if prefix in self._systems:
             inner = "/" + (parts[2] if len(parts) > 2 else "")
             return self._systems[prefix], inner
@@ -91,10 +95,13 @@ class StorageRouter:
         system.write(inner, data, node=node)
 
     def exists(self, full_path: str) -> bool:
-        try:
-            system, inner = self.resolve(full_path)
-        except PathError:
-            return False
+        """False only for resolvable-but-missing paths.
+
+        A malformed path (relative, empty scheme segment) raises exactly
+        as :meth:`size` and :meth:`locations` do — the three accessors
+        agree on what constitutes a routing error.
+        """
+        system, inner = self.resolve(full_path)
         return system.exists(inner)
 
     def size(self, full_path: str) -> int:

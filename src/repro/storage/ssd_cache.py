@@ -11,18 +11,35 @@ implementation reproduces both behaviours:
   ``admit_preferred_only`` is on (the production configuration), while
   benchmarks can switch to admit-all to reproduce the 80 %-miss
   observation.
+
+Preference entries are path *prefixes*; they come either from operators
+(the paper's manual interference) or from the automatic tiering daemon
+(:mod:`repro.storage.tiering`), which derives them from observed heat.
+
+Two policy guarantees (regression-pinned in ``tests/test_ssd_cache.py``):
+
+* a **rejected update never leaves stale bytes** — if a path is being
+  rewritten and the new payload cannot be admitted, the old entry is
+  invalidated rather than kept serving the previous contents;
+* **preferred entries are never sacrificed for non-preferred
+  admissions** — when only preferred entries remain, a non-preferred
+  insert is rejected instead of evicting business-critical data.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Dict, Optional, Set, Tuple
+from typing import Dict, Optional, Set
 
 from repro.errors import StorageError
 
+#: Bound on the memoized per-path preference lookups; the map is cleared
+#: wholesale when it outgrows this (preference changes also clear it).
+_PREF_CACHE_LIMIT = 65536
+
 
 class SsdCache:
-    """An LRU byte cache with manual preference admission control."""
+    """An LRU byte cache with preference admission control."""
 
     def __init__(
         self,
@@ -36,20 +53,39 @@ class SsdCache:
         self._entries: "OrderedDict[str, bytes]" = OrderedDict()
         self._bytes = 0
         self._preferred: Set[str] = set()
+        #: Memoized path -> preferred flag; eviction consults preference
+        #: once per candidate, so rescanning the whole prefix set there
+        #: made every eviction O(entries × prefixes).
+        self._pref_cache: Dict[str, bool] = {}
         self.hits = 0
         self.misses = 0
+        self.stale_invalidations = 0
+        self.rejected_for_preferred = 0
 
-    # -- preferences (the "manual interference" of §IV-B) ---------------
+    # -- preferences (manual §IV-B interference, or tiering-derived) -----
 
     def prefer(self, path_prefix: str) -> None:
         """Mark a path prefix as business-critical: admitted and favoured."""
-        self._preferred.add(path_prefix)
+        if path_prefix not in self._preferred:
+            self._preferred.add(path_prefix)
+            self._pref_cache.clear()
 
     def unprefer(self, path_prefix: str) -> None:
-        self._preferred.discard(path_prefix)
+        if path_prefix in self._preferred:
+            self._preferred.discard(path_prefix)
+            self._pref_cache.clear()
+
+    def preferred_prefixes(self) -> Set[str]:
+        return set(self._preferred)
 
     def is_preferred(self, path: str) -> bool:
-        return any(path.startswith(p) for p in self._preferred)
+        flag = self._pref_cache.get(path)
+        if flag is None:
+            flag = any(path.startswith(p) for p in self._preferred)
+            if len(self._pref_cache) >= _PREF_CACHE_LIMIT:
+                self._pref_cache.clear()
+            self._pref_cache[path] = flag
+        return flag
 
     # -- cache operations -------------------------------------------------
 
@@ -63,33 +99,60 @@ class SsdCache:
         return data
 
     def put(self, path: str, data: bytes) -> bool:
-        """Insert unless admission policy rejects; returns admitted?"""
-        if self.admit_preferred_only and not self.is_preferred(path):
+        """Insert unless admission policy rejects; returns admitted?
+
+        Any rejected *update* (admission, oversize, or preferred-only
+        eviction pressure) invalidates the existing entry: a path that
+        was just rewritten must never keep serving its old bytes.
+        """
+        preferred = self.is_preferred(path)
+        if self.admit_preferred_only and not preferred:
+            self.invalidate(path)
             return False
         if len(data) > self.capacity_bytes:
+            self.invalidate(path)
             return False
         if path in self._entries:
             self._bytes -= len(self._entries.pop(path))
         while self._bytes + len(data) > self.capacity_bytes and self._entries:
-            self._evict_one()
+            if not self._evict_one(allow_preferred=preferred):
+                # Only preferred entries remain and this insert is not
+                # preferred: reject it rather than sacrifice them.  The
+                # stale previous version (if any) was popped above.
+                self.rejected_for_preferred += 1
+                return False
         self._entries[path] = data
         self._bytes += len(data)
         return True
 
-    def _evict_one(self) -> None:
-        """Evict LRU, preferring to sacrifice non-preferred entries."""
+    def _evict_one(self, allow_preferred: bool = True) -> bool:
+        """Evict the LRU non-preferred entry; fall back to the LRU
+        preferred entry only when the admission itself is preferred.
+        Returns whether anything was evicted."""
         victim = None
         for path in self._entries:  # OrderedDict iterates LRU -> MRU
             if not self.is_preferred(path):
                 victim = path
                 break
         if victim is None:
+            if not allow_preferred:
+                return False
             victim = next(iter(self._entries))
         self._bytes -= len(self._entries.pop(victim))
+        return True
 
     def invalidate(self, path: str) -> None:
         if path in self._entries:
             self._bytes -= len(self._entries.pop(path))
+
+    def invalidate_stale(self, path: str) -> None:
+        """Drop an entry the caller found to disagree with the backing
+        store, and correct the hit it was just (wrongly) served as."""
+        if path in self._entries:
+            self._bytes -= len(self._entries.pop(path))
+        self.hits = max(0, self.hits - 1)
+        self.misses += 1
+        self.stale_invalidations += 1
 
     @property
     def used_bytes(self) -> int:
@@ -110,4 +173,6 @@ class SsdCache:
             "miss_ratio": self.miss_ratio(),
             "used_bytes": self._bytes,
             "entries": len(self._entries),
+            "stale_invalidations": self.stale_invalidations,
+            "rejected_for_preferred": self.rejected_for_preferred,
         }

@@ -38,11 +38,13 @@ def build_cluster(
     n_rows: int = 5000,
     block_rows: int = 500,
     data_seed: int = 7,
+    leaf=None,
 ):
     """A fresh wired cluster with known contents (fact T, dimension D)."""
-    cluster = FeisuCluster(
-        FeisuConfig(datacenters=1, racks_per_datacenter=2, nodes_per_rack=nodes_per_rack)
-    )
+    config = FeisuConfig(datacenters=1, racks_per_datacenter=2, nodes_per_rack=nodes_per_rack)
+    if leaf is not None:
+        config.leaf = leaf
+    cluster = FeisuCluster(config)
     rng = np.random.default_rng(data_seed)
     columns = {
         "c1": rng.integers(0, 100, n_rows),

@@ -93,3 +93,82 @@ def test_unprefer():
     cache.prefer("/t/")
     cache.unprefer("/t/")
     assert not cache.put("/t/a", b"1")
+
+
+# -- regressions: rejected updates must not leave stale bytes ------------
+
+
+def test_rejected_oversized_update_invalidates_stale_entry():
+    cache = SsdCache(4, admit_preferred_only=False)
+    assert cache.put("/a", b"old")
+    # The path is rewritten with a payload the cache cannot hold; the
+    # old bytes must not keep being served.
+    assert not cache.put("/a", b"12345")
+    assert cache.get("/a") is None
+
+
+def test_rejected_admission_update_invalidates_stale_entry():
+    cache = SsdCache(100)
+    cache.prefer("/t/")
+    assert cache.put("/t/a", b"old")
+    cache.unprefer("/t/")
+    # Rewrite rejected by the preferred-only policy: stale copy must go.
+    assert not cache.put("/t/a", b"new")
+    assert cache.get("/t/a") is None
+
+
+def test_rejected_preferred_pressure_update_drops_stale_entry():
+    cache = SsdCache(8, admit_preferred_only=False)
+    cache.prefer("/hot")
+    cache.put("/hot/a", b"1234")
+    cache.put("/x", b"12")
+    # Growing /x to 6 bytes needs /hot/a evicted — refused for a
+    # non-preferred insert — but the stale 2-byte /x must still go.
+    assert not cache.put("/x", b"123456")
+    assert cache.get("/x") is None
+    assert cache.get("/hot/a") is not None
+
+
+def test_invalidate_stale_reclassifies_hit():
+    cache = SsdCache(100, admit_preferred_only=False)
+    cache.put("/a", b"old")
+    assert cache.get("/a") == b"old"   # counted as a hit...
+    cache.invalidate_stale("/a")       # ...but the bytes were stale
+    assert cache.hits == 0 and cache.misses == 1
+    assert cache.stale_invalidations == 1
+    assert cache.get("/a") is None
+
+
+# -- regressions: preference inversion -----------------------------------
+
+
+def test_non_preferred_insert_never_evicts_preferred():
+    cache = SsdCache(8, admit_preferred_only=False)
+    cache.prefer("/hot")
+    cache.put("/hot/a", b"1234")
+    cache.put("/hot/b", b"1234")
+    # Cache is full of preferred data; a non-preferred insert must be
+    # rejected, not displace business-critical entries.
+    assert not cache.put("/cold/x", b"1234")
+    assert cache.get("/hot/a") is not None
+    assert cache.get("/hot/b") is not None
+    assert cache.rejected_for_preferred == 1
+
+
+def test_preferred_insert_may_still_evict_preferred_lru():
+    cache = SsdCache(8, admit_preferred_only=False)
+    cache.prefer("/hot")
+    cache.put("/hot/a", b"1234")
+    cache.put("/hot/b", b"1234")
+    assert cache.put("/hot/c", b"1234")  # preferred-for-preferred: LRU
+    assert cache.get("/hot/a") is None
+    assert cache.get("/hot/c") is not None
+
+
+def test_preference_cache_invalidated_on_policy_change():
+    cache = SsdCache(100, admit_preferred_only=False)
+    assert not cache.is_preferred("/t/a")
+    cache.prefer("/t/")
+    assert cache.is_preferred("/t/a")
+    cache.unprefer("/t/")
+    assert not cache.is_preferred("/t/a")

@@ -99,6 +99,46 @@ def test_forged_credential_rejected():
         router.read("/hdfs/f", cred=forged)
 
 
+def test_empty_prefix_rejected():
+    router, *_ = _router()
+    # "//foo" silently routed to the default FS made a typo'd scheme
+    # unreachable forever; it must be a routing error instead.
+    with pytest.raises(PathError, match="empty scheme"):
+        router.resolve("//foo")
+    with pytest.raises(PathError, match="empty scheme"):
+        router.resolve("//hdfs/a/b")
+
+
+def test_accessors_consistent_on_malformed_path():
+    router, *_ = _router()
+    # exists() used to swallow the routing error and answer False while
+    # size()/locations() raised; all three must now agree.
+    for accessor in (router.exists, router.size, router.locations):
+        with pytest.raises(PathError):
+            accessor("//foo")
+        with pytest.raises(PathError):
+            accessor("relative/path")
+
+
+def test_exists_false_only_for_resolvable_missing_path():
+    router, *_ = _router()
+    assert not router.exists("/hdfs/nope")
+    router.write("/hdfs/nope", b"x")
+    assert router.exists("/hdfs/nope")
+
+
+def test_add_replica_idempotent():
+    _, _, _, hdfs, _ = _router()
+    hdfs.write("/f", b"data")
+    holders = hdfs.locations("/f")
+    extra = next(n for n in NODES if n not in holders)
+    assert hdfs.add_replica("/f", extra)
+    assert not hdfs.add_replica("/f", extra)  # second add is a no-op
+    assert hdfs.locations("/f").count(extra) == 1
+    with pytest.raises(PathError):
+        hdfs.add_replica("/missing", extra)
+
+
 def test_expired_credential_rejected():
     router, authority, _, hdfs, _ = _router(with_auth=True)
     hdfs.write("/f", b"x")

@@ -1,9 +1,10 @@
 #!/usr/bin/env python
-"""Dependency-free line-coverage gate for the cluster, fault and index layers.
+"""Dependency-free line-coverage gate for the cluster, fault, index and storage layers.
 
 The container has no ``coverage``/``pytest-cov``, so this implements the
 minimum honestly: a ``sys.settrace`` hook records executed lines in
-``repro.cluster``, ``repro.faults`` and ``repro.index`` while the focused test
+``repro.cluster``, ``repro.faults``, ``repro.index`` and
+``repro.storage`` while the focused test
 suites run in-process, the denominator comes from each module's compiled
 ``co_lines()`` tables, and the gate fails if combined coverage drops
 below the floor.
@@ -31,6 +32,7 @@ TARGET_DIRS = (
     os.path.join(SRC, "repro", "cluster") + os.sep,
     os.path.join(SRC, "repro", "faults") + os.sep,
     os.path.join(SRC, "repro", "index") + os.sep,
+    os.path.join(SRC, "repro", "storage") + os.sep,
 )
 
 #: Test files that exercise the gated packages.
@@ -49,6 +51,12 @@ TEST_ARGS = [
     "tests/test_index_smartindex.py",
     "tests/test_semantic_index_property.py",
     "tests/test_soak_chaos.py",
+    "tests/test_ssd_cache.py",
+    "tests/test_ssd_cache_property.py",
+    "tests/test_storage_router.py",
+    "tests/test_storage_systems.py",
+    "tests/test_storage_tiering.py",
+    "tests/test_new_features.py",
 ]
 
 FLOOR = 0.80
@@ -147,7 +155,7 @@ def main():
         if args.report and missed:
             print(f"{'':<{width}}  missed: {_ranges(missed)}")
     overall = total_hit / total_exec if total_exec else 1.0
-    print(f"\nTOTAL repro.cluster + repro.faults + repro.index: {100.0 * overall:.1f}% "
+    print(f"\nTOTAL repro.cluster + repro.faults + repro.index + repro.storage: {100.0 * overall:.1f}% "
           f"({total_hit}/{total_exec} lines), floor {100.0 * args.floor:.4g}%")
     if args.report:
         return 0
