@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -60,13 +61,23 @@ def run_stream(
     user: Optional[str] = None,
     inter_query_gap_s: float = 0.0,
 ) -> List[Dict[str, float]]:
-    """Run queries sequentially; returns per-query stats dicts."""
+    """Run queries sequentially; returns per-query stats dicts.
+
+    Each dict carries the modeled stats plus ``wall_clock_s`` — the real
+    host-side execution time of that query.  Figure tests read the
+    modeled keys by name, so the extra key never reaches the committed
+    result files; it is there so a harness run can report simulated and
+    wall time side by side (e.g. when judging the fused-pipeline flag).
+    """
     out = []
     for sql in queries:
         if inter_query_gap_s:
             cluster.sim.run(until=cluster.sim.now + inter_query_gap_s)
+        t0 = time.perf_counter()
         result = cluster.query(sql, user=user)
-        out.append(dict(result.stats))
+        stats = dict(result.stats)
+        stats["wall_clock_s"] = time.perf_counter() - t0
+        out.append(stats)
     return out
 
 

@@ -1,0 +1,211 @@
+"""Fused-pipeline wall-clock benchmark suite (DESIGN.md S51).
+
+Times the same leaf scan task through the operator-at-a-time executor
+(:func:`repro.engine.executor.execute_scan_task`) and the fused
+morsel-parallel pipeline (:func:`repro.engine.pipeline.execute_fused_scan_task`)
+on identical in-memory blocks, reporting the wall-clock speedup fusion
+buys.  The win comes from the gather discipline: the unfused path
+boolean-mask-gathers *every* read column through the selection mask
+before projection throws most of it away, while the fused path keeps the
+selection lazy and index-gathers only the payload columns of matching
+rows (one ``flatnonzero`` per morsel).
+
+``run_suite`` returns a machine-readable dict; ``benchmarks/run_pipeline.py``
+writes/compares the committed ``BENCH_pipeline.json`` baseline and
+``pytest -m pipelinebench`` gates on it.
+
+All timings here are *library* wall-clock; the figure reproductions'
+simulated-clock numbers are untouched by definition (the differential
+suite proves fused results and charges are byte-identical).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.columnar.schema import DataType, Schema
+from repro.columnar.table import Catalog
+from repro.engine.executor import execute_scan_task
+from repro.engine.pipeline import execute_fused_scan_task
+from repro.planner.physical import PhysicalPlan, build_plan
+from repro.sql.analyzer import analyze
+from repro.sql.parser import parse
+from repro.storage.loader import load_block, store_table
+from repro.storage.router import StorageRouter
+from repro.storage.systems import DistributedFS
+from repro.sim.netmodel import TopologySpec
+
+#: A kernel regresses when its wall-clock exceeds baseline * this factor.
+REGRESSION_FACTOR = 2.0
+#: Acceptance floor: fused must beat unfused by this factor on the
+#: scan-heavy kernels (the ISSUE's >=2x target).
+MIN_SPEEDUP = 2.0
+#: On a block too small to amortize anything, fusion must not cost more
+#: than this factor over the unfused path.
+MAX_SMALL_BLOCK_PENALTY = 3.0
+
+SCAN_ROWS = 2_000_000
+SMALL_ROWS = 10_000
+#: Predicate-only int64 columns; the unfused path mask-gathers all of
+#: them, the fused path never materializes their matches.
+PRED_COLS = 8
+
+
+def _best_of(fn: Callable[[], object], repeat: int = 3) -> float:
+    best = float("inf")
+    for _ in range(repeat):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _scan_env(rows: int, seed: int = 31):
+    """One table, one block: ``PRED_COLS`` predicate columns ``p0..p7``
+    plus two payload columns, stored through the real loader so both
+    executors see identical encoded chunks."""
+    nodes = TopologySpec(1, 1, 2).addresses()
+    fs = DistributedFS(nodes)
+    router = StorageRouter()
+    router.register(fs, default=True)
+    catalog = Catalog()
+    rng = np.random.default_rng(seed)
+    columns: Dict[str, np.ndarray] = {
+        f"p{i}": rng.integers(0, 1000, rows) for i in range(PRED_COLS)
+    }
+    columns["g"] = rng.integers(0, 10, rows)
+    columns["pay_a"] = rng.integers(0, 1_000_000, rows)
+    columns["pay_b"] = rng.random(rows)
+    schema = Schema.of(
+        **{f"p{i}": DataType.INT64 for i in range(PRED_COLS)},
+        g=DataType.INT64,
+        pay_a=DataType.INT64,
+        pay_b=DataType.FLOAT64,
+    )
+    store_table("B", schema, columns, router, fs, block_rows=rows, catalog=catalog)
+    return router, catalog
+
+
+def _compile(router, catalog, sql: str) -> Tuple[PhysicalPlan, list]:
+    plan = build_plan(analyze(parse(sql), catalog))
+    blocks = [load_block(router, t.block) for t in plan.tasks]
+    return plan, blocks
+
+
+def _run_unfused(plan: PhysicalPlan, blocks) -> None:
+    for task, block in zip(plan.tasks, blocks):
+        execute_scan_task(task, plan, block, {})
+
+
+def _run_fused(plan: PhysicalPlan, blocks, morsel_rows: int = 64 * 1024) -> None:
+    for task, block in zip(plan.tasks, blocks):
+        execute_fused_scan_task(task, plan, block, {}, morsel_rows=morsel_rows)
+
+
+#: Every p-column appears in the WHERE clause, so all eight are read
+#: columns; ~1% of rows survive.  This is the paper's scan-heavy shape:
+#: wide predicate, narrow answer.
+_SELECTIVE_SQL = (
+    "SELECT pay_a, pay_b FROM B WHERE "
+    + " AND ".join(f"p{i} < 900" for i in range(PRED_COLS - 1))
+    + " AND p7 < 20"
+)
+
+
+def bench_selective_scan(repeat: int) -> Dict[str, float]:
+    router, catalog = _scan_env(SCAN_ROWS)
+    plan, blocks = _compile(router, catalog, _SELECTIVE_SQL)
+    unfused = _best_of(lambda: _run_unfused(plan, blocks), repeat)
+    fused = _best_of(lambda: _run_fused(plan, blocks), repeat)
+    return {"wall_s": fused, "unfused_wall_s": unfused,
+            "speedup": unfused / fused, "rows": SCAN_ROWS}
+
+
+def bench_groupby_exact(repeat: int) -> Dict[str, float]:
+    """Merge-exact morsel aggregation (COUNT/SUM/MIN/MAX over int64):
+    partial states update in place per morsel and merge, so the filtered
+    frame is never materialized at all.  Report shape: wide selective
+    predicate, low-cardinality group key."""
+    router, catalog = _scan_env(SCAN_ROWS)
+    sql = (
+        "SELECT g, COUNT(*), SUM(pay_a), MIN(pay_a), MAX(pay_a) FROM B "
+        "WHERE " + " AND ".join(f"p{i} < 800" for i in range(1, PRED_COLS - 1))
+        + " AND p7 < 100 GROUP BY g"
+    )
+    plan, blocks = _compile(router, catalog, sql)
+    unfused = _best_of(lambda: _run_unfused(plan, blocks), repeat)
+    fused = _best_of(lambda: _run_fused(plan, blocks), repeat)
+    return {"wall_s": fused, "unfused_wall_s": unfused,
+            "speedup": unfused / fused, "rows": SCAN_ROWS}
+
+
+def bench_small_block(repeat: int) -> Dict[str, float]:
+    """Guard kernel: a 10k-row block gets one morsel and no pool — the
+    fused path must stay within ``MAX_SMALL_BLOCK_PENALTY`` of unfused."""
+    router, catalog = _scan_env(SMALL_ROWS, seed=37)
+    plan, blocks = _compile(router, catalog, _SELECTIVE_SQL)
+
+    def many_unfused():
+        for _ in range(20):
+            _run_unfused(plan, blocks)
+
+    def many_fused():
+        for _ in range(20):
+            _run_fused(plan, blocks)
+
+    unfused = _best_of(many_unfused, repeat) / 20
+    fused = _best_of(many_fused, repeat) / 20
+    return {"wall_s": fused, "unfused_wall_s": unfused,
+            "speedup": unfused / fused, "rows": SMALL_ROWS}
+
+
+KERNELS: Dict[str, Callable[[int], Dict[str, float]]] = {
+    "fused_selective_scan_2m": bench_selective_scan,
+    "fused_groupby_exact_2m": bench_groupby_exact,
+    "fused_small_block_10k": bench_small_block,
+}
+
+
+def run_suite(repeat: int = 3) -> Dict[str, Dict[str, float]]:
+    """Run every kernel; returns ``{kernel_name: metrics}``."""
+    return {name: fn(repeat) for name, fn in KERNELS.items()}
+
+
+def acceptance_failures(results: Dict[str, Dict[str, float]]) -> List[str]:
+    """The suite's built-in invariants (independent of any baseline)."""
+    problems = []
+    for name in ("fused_selective_scan_2m", "fused_groupby_exact_2m"):
+        speedup = results[name]["speedup"]
+        if speedup < MIN_SPEEDUP:
+            problems.append(
+                f"{name}: fused speedup {speedup:.2f}x < required "
+                f"{MIN_SPEEDUP:.1f}x"
+            )
+    small = results["fused_small_block_10k"]["speedup"]
+    if small < 1.0 / MAX_SMALL_BLOCK_PENALTY:
+        problems.append(
+            f"fused_small_block_10k: fusion costs {1.0 / small:.2f}x on a "
+            f"small block (limit {MAX_SMALL_BLOCK_PENALTY:.0f}x)"
+        )
+    return problems
+
+
+def regressions(
+    results: Dict[str, Dict[str, float]], baseline: Dict[str, Dict[str, float]]
+) -> List[str]:
+    """Kernels slower than ``REGRESSION_FACTOR`` x the committed baseline."""
+    problems = []
+    for name, base in baseline.items():
+        current: Optional[Dict[str, float]] = results.get(name)
+        if current is None:
+            problems.append(f"{name}: kernel missing from current suite")
+            continue
+        if current["wall_s"] > base["wall_s"] * REGRESSION_FACTOR:
+            problems.append(
+                f"{name}: {current['wall_s']:.6f}s vs baseline "
+                f"{base['wall_s']:.6f}s (>{REGRESSION_FACTOR:.0f}x regression)"
+            )
+    return problems

@@ -1,0 +1,78 @@
+"""Run the fused-pipeline benchmark suite and gate on ``BENCH_pipeline.json``.
+
+Usage (from the repo root)::
+
+    PYTHONPATH=src python benchmarks/run_pipeline.py            # compare
+    PYTHONPATH=src python benchmarks/run_pipeline.py --update   # re-baseline
+
+Without ``--update`` the run fails (exit 1) when any kernel is more than
+2x slower than the committed baseline, or when the suite's built-in
+invariants (fused >= 2x unfused on the scan-heavy kernels, bounded
+small-block penalty) do not hold.  The same gate runs under pytest via
+``pytest -m pipelinebench benchmarks``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+from pipeline_kernels import acceptance_failures, regressions, run_suite  # noqa: E402
+
+BASELINE_PATH = os.path.join(os.path.dirname(__file__), "BENCH_pipeline.json")
+
+
+def format_results(results) -> str:
+    lines = [f"{'kernel':<26} {'fused_s':>12} {'unfused_s':>12} {'speedup':>9}"]
+    for name, metrics in results.items():
+        lines.append(
+            f"{name:<26} {metrics['wall_s']:>12.6f} "
+            f"{metrics['unfused_wall_s']:>12.6f} "
+            f"{metrics['speedup']:>8.2f}x"
+        )
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite the committed baseline from this run")
+    parser.add_argument("--baseline", default=BASELINE_PATH,
+                        help="baseline JSON path")
+    parser.add_argument("--repeat", type=int, default=3,
+                        help="timing repeats per kernel (min is kept)")
+    args = parser.parse_args(argv)
+
+    results = run_suite(repeat=args.repeat)
+    print(format_results(results))
+
+    problems = acceptance_failures(results)
+    if args.update:
+        with open(args.baseline, "w") as fh:
+            json.dump({"schema_version": 1, "kernels": results}, fh, indent=2,
+                      sort_keys=True)
+            fh.write("\n")
+        print(f"\nbaseline written to {args.baseline}")
+    else:
+        if not os.path.exists(args.baseline):
+            print(f"\nno baseline at {args.baseline}; run with --update first")
+            return 1
+        with open(args.baseline) as fh:
+            baseline = json.load(fh)["kernels"]
+        problems.extend(regressions(results, baseline))
+
+    if problems:
+        print("\nFAIL:")
+        for p in problems:
+            print(f"  - {p}")
+        return 1
+    print("\nOK: fused pipeline holds its wins")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

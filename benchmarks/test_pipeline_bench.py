@@ -1,0 +1,52 @@
+"""Fused-pipeline benchmark gate (S51).
+
+Opt-in wall-clock gate: ``pytest -m pipelinebench benchmarks``.  Runs
+the fused-vs-unfused kernel suite once and asserts (a) the suite's
+built-in invariants — fused beats the operator-at-a-time executor by
+>= 2x on the scan-heavy kernels and costs no more than 3x on a tiny
+block — and (b) no kernel slower than 2x the committed
+``BENCH_pipeline.json`` baseline.  Mirrors the kernelbench gate.
+"""
+
+import json
+import os
+import sys
+
+import pytest
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+import pipeline_kernels as _pk  # noqa: E402
+
+BASELINE = os.path.join(os.path.dirname(__file__), "BENCH_pipeline.json")
+
+
+@pytest.fixture(scope="module")
+def pipeline_results():
+    return _pk.run_suite(repeat=3)
+
+
+@pytest.mark.pipelinebench
+def test_pipeline_acceptance(pipeline_results):
+    assert _pk.acceptance_failures(pipeline_results) == []
+
+
+@pytest.mark.pipelinebench
+def test_pipeline_baseline_regression(pipeline_results):
+    assert os.path.exists(BASELINE), (
+        "no committed baseline; run run_pipeline.py --update"
+    )
+    with open(BASELINE) as fh:
+        baseline = json.load(fh)["kernels"]
+    assert _pk.regressions(pipeline_results, baseline) == []
+
+
+@pytest.mark.pipelinebench
+def test_pipeline_baseline_schema():
+    with open(BASELINE) as fh:
+        doc = json.load(fh)
+    assert doc["schema_version"] == 1
+    assert set(doc["kernels"]) == set(_pk.KERNELS)
+    for metrics in doc["kernels"].values():
+        assert metrics["wall_s"] > 0
+        assert metrics["speedup"] > 0

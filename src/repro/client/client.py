@@ -117,7 +117,7 @@ class FeisuClient:
         self.verify_access(sql)
         options = dataclasses.replace(options or JobOptions(), trace=True)
         job = self.query_job(sql, options=options)
-        return render(job.plan, job)
+        return render(job.plan, job, leaf_config=self.cluster.config.leaf)
 
     # -- SmartIndex personalization ----------------------------------------------
 

@@ -59,6 +59,16 @@ class LeafConfig:
     #: cold→hot block promotion, scheduler placement hints.  Off by
     #: default: the committed paper figures use static placement.
     enable_tiering: bool = False
+    #: Fused morsel-parallel scan pipelines (S51): one pass per block,
+    #: lazy selection, real worker threads for wall-clock.  Off by
+    #: default — results and simulated charges are byte-identical either
+    #: way (differential-tested), but the default keeps the committed
+    #: figures on the reference operator-at-a-time path.
+    enable_fused_pipelines: bool = False
+    #: Morsel worker pool size; 0 means ``os.cpu_count()``.
+    worker_threads: int = 0
+    #: Rows per morsel for the fused driver.
+    morsel_rows: int = 64 * 1024
 
 
 class LeafServer:
@@ -273,16 +283,34 @@ class LeafServer:
         try:
             payload = system.read(inner)
             block = Block.from_bytes(payload)
-            result = execute_scan_task(
-                task,
-                plan,
-                block,
-                broadcast_frames,
-                index_manager=self.index_manager,
-                btree_provider=self._btree_provider(block) if self.config.enable_btree else None,
-                now=self.sim.now,
-                span=span,
-            )
+            if self.config.enable_fused_pipelines:
+                from repro.engine.pipeline import execute_fused_scan_task
+
+                result = execute_fused_scan_task(
+                    task,
+                    plan,
+                    block,
+                    broadcast_frames,
+                    index_manager=self.index_manager,
+                    btree_provider=(
+                        self._btree_provider(block) if self.config.enable_btree else None
+                    ),
+                    now=self.sim.now,
+                    span=span,
+                    worker_threads=self.config.worker_threads,
+                    morsel_rows=self.config.morsel_rows,
+                )
+            else:
+                result = execute_scan_task(
+                    task,
+                    plan,
+                    block,
+                    broadcast_frames,
+                    index_manager=self.index_manager,
+                    btree_provider=self._btree_provider(block) if self.config.enable_btree else None,
+                    now=self.sim.now,
+                    span=span,
+                )
             report = result.report
 
             if report.io_bytes > 0:
@@ -305,6 +333,14 @@ class LeafServer:
                                 4,
                             ),
                         )
+                    if report.fused:
+                        # Morsel-level aggregation as tags on the one scan
+                        # span — no per-morsel children, so the span tree
+                        # stays the same size at any morsel count.
+                        scan_span.tag("fused", True)
+                        scan_span.tag("morsels", report.morsels)
+                        scan_span.tag("workers", report.workers)
+                        scan_span.tag("morsel_wall_s", round(report.morsel_wall_s, 6))
                     scan_span.finish(self.sim.now)
             elif span is not None:
                 # Fully index-covered: record a zero-IO scan span so the
@@ -314,6 +350,11 @@ class LeafServer:
                 ).tag("rows_out", report.rows_matched)
                 if self.tiering is not None:
                     covered_span.tag("tier", self.tiering.tier_of(task.block.path))
+                if report.fused:
+                    covered_span.tag("fused", True)
+                    covered_span.tag("morsels", report.morsels)
+                    covered_span.tag("workers", report.workers)
+                    covered_span.tag("morsel_wall_s", round(report.morsel_wall_s, 6))
                 covered_span.finish(self.sim.now)
             if report.modeled_cpu_ops > 0:
                 cpu_name = "aggregate" if plan.is_aggregate else "project"

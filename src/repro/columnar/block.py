@@ -85,6 +85,25 @@ class ColumnChunk:
     def decode(self) -> np.ndarray:
         return codec_by_tag(self.encoding_tag).decode(self.payload, self.row_count)
 
+    def dictionary_parts(self) -> "Optional[tuple]":
+        """``(uniques, codes)`` when dictionary-encoded, else None.
+
+        The fused pipeline (engine.pipeline) evaluates predicates on the
+        unique set and gathers payload rows as ``uniques[codes[rows]]``,
+        skipping the full ``decode()`` materialization.
+        """
+        codec = codec_by_tag(self.encoding_tag)
+        if not hasattr(codec, "decode_parts"):
+            return None
+        return codec.decode_parts(self.payload, self.row_count)
+
+    def plain_view(self) -> Optional[np.ndarray]:
+        """Zero-copy read-only view when plain-encoded numeric, else None."""
+        codec = codec_by_tag(self.encoding_tag)
+        if not hasattr(codec, "decode_view"):
+            return None
+        return codec.decode_view(self.payload, self.row_count)
+
     @property
     def encoded_bytes(self) -> int:
         return len(self.payload)

@@ -18,7 +18,7 @@ numpy buffers.
 from __future__ import annotations
 
 import struct
-from typing import Dict, Sequence, Tuple, Type
+from typing import Dict, Optional, Sequence, Tuple, Type
 
 import numpy as np
 
@@ -89,13 +89,25 @@ class PlainEncoding(Encoding):
         return b"n" + array.dtype.str.encode() + b"\x00" + array.tobytes()
 
     def decode(self, payload: bytes, count: int) -> np.ndarray:
-        kind, rest = payload[:1], payload[1:]
-        if kind == b"s":
-            return _unpack_strings(rest)
-        sep = rest.index(b"\x00")
-        dtype = np.dtype(rest[:sep].decode())
-        arr = np.frombuffer(rest[sep + 1 :], dtype=dtype, count=count)
-        return arr.copy()  # decouple from the payload buffer
+        view = self.decode_view(payload, count)
+        if view is None:
+            return _unpack_strings(payload[1:])
+        return view.copy()  # decouple from the payload buffer
+
+    def decode_view(self, payload: bytes, count: int) -> Optional[np.ndarray]:
+        """Zero-copy read-only view of a numeric chunk (None for strings).
+
+        Lets the fused pipeline gather a handful of matching payload rows
+        without materializing (and copying) the whole column first; any
+        fancy-indexed gather off the view is a fresh writable array.
+        ``frombuffer`` with an explicit offset avoids slicing (copying)
+        the multi-megabyte payload just to skip the tiny header.
+        """
+        if payload[:1] == b"s":
+            return None
+        sep = payload.index(b"\x00", 1)
+        dtype = np.dtype(payload[1:sep].decode())
+        return np.frombuffer(payload, dtype=dtype, count=count, offset=sep + 1)
 
 
 class RunLengthEncoding(Encoding):
@@ -159,15 +171,28 @@ class DictionaryEncoding(Encoding):
         )
 
     def decode(self, payload: bytes, count: int) -> np.ndarray:
-        nuniq, ulen = struct.unpack_from(_U32 + "I", payload, 0)
-        uarr = PlainEncoding().decode(payload[8 : 8 + ulen], nuniq)
-        codes = np.frombuffer(payload[8 + ulen :], dtype=np.uint32, count=count)
+        uarr, codes = self.decode_parts(payload, count)
         if _is_string(uarr):
             out = np.empty(count, dtype=object)
             for i, c in enumerate(codes):
                 out[i] = uarr[c]
             return out
         return uarr[codes]
+
+    def decode_parts(self, payload: bytes, count: int) -> "Tuple[np.ndarray, np.ndarray]":
+        """``(uniques, codes)`` without materializing the full column.
+
+        ``decode()`` is exactly ``uniques[codes]``, so an elementwise
+        predicate can be answered on the (tiny) unique set and mapped
+        through the codes, and a selective gather of rows ``r`` is
+        ``uniques[codes[r]]`` — the fused pipeline's decode-avoidance
+        path.  ``codes`` is a read-only view over the payload buffer
+        (no multi-megabyte byte-slice copy).
+        """
+        nuniq, ulen = struct.unpack_from(_U32 + "I", payload, 0)
+        uarr = PlainEncoding().decode(payload[8 : 8 + ulen], nuniq)
+        codes = np.frombuffer(payload, dtype=np.uint32, count=count, offset=8 + ulen)
+        return uarr, codes
 
 
 class DeltaEncoding(Encoding):

@@ -449,7 +449,10 @@ class FeisuCluster:
         from repro.sql.analyzer import analyze
         from repro.sql.parser import parse
 
-        return explain_plan(build_plan(analyze(parse(sql), self.catalog)))
+        return explain_plan(
+            build_plan(analyze(parse(sql), self.catalog)),
+            leaf_config=self.config.leaf,
+        )
 
     # -- §V-B resource consolidation --------------------------------------
 

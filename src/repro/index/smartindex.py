@@ -37,7 +37,9 @@ the exact/complement-only manager above) three further layers engage:
 
 from __future__ import annotations
 
+import functools
 import heapq
+import threading
 from collections import Counter, OrderedDict, deque
 from dataclasses import dataclass, field
 from typing import Deque, Dict, List, Optional, Tuple
@@ -196,6 +198,24 @@ class ResidualClause:
     fraction: float
 
 
+def _locked(method):
+    """Serialize a public entry point on the instance's ``_lock``.
+
+    The fused pipeline's morsel workers (engine.pipeline) share one
+    manager per leaf and probe/insert from real OS threads; an RLock
+    (public methods call other public methods) keeps the cache's books —
+    ``_bytes``, the eviction heaps, the secondary indexes — consistent
+    without per-structure locking.
+    """
+
+    @functools.wraps(method)
+    def wrapper(self, *args, **kwargs):
+        with self._lock:
+            return method(self, *args, **kwargs)
+
+    return wrapper
+
+
 class SmartIndexManager:
     """Per-leaf in-memory cache of SmartIndex entries."""
 
@@ -210,6 +230,7 @@ class SmartIndexManager:
     ):
         if memory_budget_bytes <= 0:
             raise IndexError_("index memory budget must be positive")
+        self._lock = threading.RLock()
         self.memory_budget_bytes = memory_budget_bytes
         self.ttl_s = ttl_s
         self.compress = compress
@@ -252,12 +273,14 @@ class SmartIndexManager:
 
     # -- preferences (§IV-C-2 user interfaces) ---------------------------
 
+    @_locked
     def prefer_predicate(self, predicate_key: str) -> None:
         """Pin all (current and future) entries for this predicate."""
         self._preferred_predicates.add(predicate_key)
         for key in self._by_predicate.get(predicate_key, ()):
             self._entries[key].preferred = True
 
+    @_locked
     def unprefer_predicate(self, predicate_key: str) -> None:
         self._preferred_predicates.discard(predicate_key)
         for key in self._by_predicate.get(predicate_key, ()):
@@ -265,6 +288,7 @@ class SmartIndexManager:
 
     # -- core cache operations -------------------------------------------
 
+    @_locked
     def lookup_atom(
         self, block_id: str, atom: AtomicPredicate, now: float, sweep: bool = True
     ) -> Optional[BitVector]:
@@ -283,6 +307,7 @@ class SmartIndexManager:
         self.stats.misses += 1
         return None
 
+    @_locked
     def lookup_clause(
         self, block_id: str, clause: Clause, now: float, sweep: bool = True
     ) -> Optional[BitVector]:
@@ -302,6 +327,7 @@ class SmartIndexManager:
             result = vec if result is None else (result | vec)
         return result
 
+    @_locked
     def cover(
         self, block_id: str, cnf: ConjunctiveForm, now: float, span=None
     ) -> Tuple[Optional[BitVector], List[Clause]]:
@@ -341,6 +367,7 @@ class SmartIndexManager:
 
     # -- semantic probe layer (flag-gated; see module docstring) -----------
 
+    @_locked
     def cover_semantic(
         self, block_id: str, cnf: ConjunctiveForm, now: float, span=None
     ) -> Tuple[Optional[BitVector], List[Clause], List[ResidualClause]]:
@@ -534,6 +561,7 @@ class SmartIndexManager:
             result = vec if result is None else (result & vec)
         return result
 
+    @_locked
     def benefit_snapshot(self) -> Dict[str, float]:
         """Observed benefit per predicate key for :class:`IndexAdvisor`.
 
@@ -549,6 +577,7 @@ class SmartIndexManager:
             )
         return out
 
+    @_locked
     def insert(
         self,
         block_id: str,
@@ -758,6 +787,7 @@ class SmartIndexManager:
         if self.semantic and entry.atom is not None:
             self._registry.discard(key[0], entry.atom)
 
+    @_locked
     def invalidate_block(self, block_id: str) -> None:
         """Drop every entry of a block (data rewrite)."""
         for key in list(self._by_block.get(block_id, ())):
@@ -773,5 +803,6 @@ class SmartIndexManager:
     def entry_count(self) -> int:
         return len(self._entries)
 
+    @_locked
     def entries_for_block(self, block_id: str) -> List[SmartIndexEntry]:
         return [self._entries[k] for k in self._by_block.get(block_id, ())]

@@ -28,6 +28,8 @@ Two policy guarantees (regression-pinned in ``tests/test_ssd_cache.py``):
 
 from __future__ import annotations
 
+import functools
+import threading
 from collections import OrderedDict
 from typing import Dict, Optional, Set
 
@@ -36,6 +38,23 @@ from repro.errors import StorageError
 #: Bound on the memoized per-path preference lookups; the map is cleared
 #: wholesale when it outgrows this (preference changes also clear it).
 _PREF_CACHE_LIMIT = 65536
+
+
+def _locked(method):
+    """Serialize a public entry point on the instance's ``_lock``.
+
+    Leaves consult one cache per node from the fused pipeline's morsel
+    worker threads (engine.pipeline); an RLock (``put`` recurses into
+    ``invalidate``/``_evict_one``) keeps ``_bytes`` and the LRU order
+    consistent under concurrent get/put.
+    """
+
+    @functools.wraps(method)
+    def wrapper(self, *args, **kwargs):
+        with self._lock:
+            return method(self, *args, **kwargs)
+
+    return wrapper
 
 
 class SsdCache:
@@ -48,6 +67,7 @@ class SsdCache:
     ):
         if capacity_bytes <= 0:
             raise StorageError("SSD cache capacity must be positive")
+        self._lock = threading.RLock()
         self.capacity_bytes = capacity_bytes
         self.admit_preferred_only = admit_preferred_only
         self._entries: "OrderedDict[str, bytes]" = OrderedDict()
@@ -64,20 +84,24 @@ class SsdCache:
 
     # -- preferences (manual §IV-B interference, or tiering-derived) -----
 
+    @_locked
     def prefer(self, path_prefix: str) -> None:
         """Mark a path prefix as business-critical: admitted and favoured."""
         if path_prefix not in self._preferred:
             self._preferred.add(path_prefix)
             self._pref_cache.clear()
 
+    @_locked
     def unprefer(self, path_prefix: str) -> None:
         if path_prefix in self._preferred:
             self._preferred.discard(path_prefix)
             self._pref_cache.clear()
 
+    @_locked
     def preferred_prefixes(self) -> Set[str]:
         return set(self._preferred)
 
+    @_locked
     def is_preferred(self, path: str) -> bool:
         flag = self._pref_cache.get(path)
         if flag is None:
@@ -89,6 +113,7 @@ class SsdCache:
 
     # -- cache operations -------------------------------------------------
 
+    @_locked
     def get(self, path: str) -> Optional[bytes]:
         data = self._entries.get(path)
         if data is None:
@@ -98,6 +123,7 @@ class SsdCache:
         self.hits += 1
         return data
 
+    @_locked
     def put(self, path: str, data: bytes) -> bool:
         """Insert unless admission policy rejects; returns admitted?
 
@@ -141,10 +167,12 @@ class SsdCache:
         self._bytes -= len(self._entries.pop(victim))
         return True
 
+    @_locked
     def invalidate(self, path: str) -> None:
         if path in self._entries:
             self._bytes -= len(self._entries.pop(path))
 
+    @_locked
     def invalidate_stale(self, path: str) -> None:
         """Drop an entry the caller found to disagree with the backing
         store, and correct the hit it was just (wrongly) served as."""
@@ -166,6 +194,7 @@ class SsdCache:
         total = self.hits + self.misses
         return self.misses / total if total else 0.0
 
+    @_locked
     def stats(self) -> Dict[str, float]:
         return {
             "hits": self.hits,

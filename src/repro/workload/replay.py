@@ -115,8 +115,24 @@ class TraceReplayer:
                     report.errors.append(f"{tq.sql!r}: {exc}")
                     continue
                 pending.append((tq, sim.now, job, done))
-            for tq, at, job, done in pending:
-                sim.run_until_complete(done)
+            if pending:
+                # Completion-driven gather: a single barrier event fired
+                # by per-job callbacks, instead of waiting on each job in
+                # submission order — a job that fails (its done event
+                # raises on read) can no longer abort collection of the
+                # outcomes that completed after it.
+                all_done = sim.event(name="replay.all_done")
+                remaining = [len(pending)]
+
+                def _arrived(_ev) -> None:
+                    remaining[0] -= 1
+                    if remaining[0] == 0 and not all_done.triggered:
+                        all_done.succeed()
+
+                for _tq, _at, _job, done in pending:
+                    done.add_callback(_arrived)
+                sim.run_until_complete(all_done)
+            for tq, at, job, _done in pending:
                 report.outcomes.append(ReplayOutcome(tq, at, job))
             return report
 
@@ -125,10 +141,11 @@ class TraceReplayer:
             if target > sim.now:
                 sim.run(until=target)
             self._ensure_user(tq.user)
+            submitted_at = sim.now  # query_job advances the clock to completion
             try:
                 job = self.cluster.query_job(tq.sql, user=tq.user, options=options)
             except Exception as exc:  # noqa: BLE001 - recorded, not raised
                 report.errors.append(f"{tq.sql!r}: {exc}")
                 continue
-            report.outcomes.append(ReplayOutcome(tq, sim.now, job))
+            report.outcomes.append(ReplayOutcome(tq, submitted_at, job))
         return report

@@ -1,0 +1,127 @@
+"""Thread-safety of the structures the fused pipeline's worker pool
+shares: SmartIndexManager probe/insert and SsdCache get/put.
+
+Eight OS threads hammer one instance with a Hypothesis-generated
+operation mix; afterwards the books must balance exactly — byte
+accounting equal to the sum over live entries, secondary indexes
+consistent with the primary map.  Without the per-manager lock these
+races corrupt ``_bytes`` and the LRU/eviction structures.
+"""
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.index.smartindex import SmartIndexManager
+from repro.planner.cnf import AtomicPredicate
+from repro.sql.ast import BinaryOperator
+from repro.storage.ssd_cache import SsdCache
+
+THREADS = 8
+
+
+def _hammer(fn, per_thread_ops):
+    """Run ``fn(thread_id, op_index)`` from THREADS threads, amplifying
+    any unsynchronized interleaving with a common start barrier."""
+    barrier = threading.Barrier(THREADS)
+
+    def worker(tid):
+        barrier.wait()
+        for i in range(per_thread_ops):
+            fn(tid, i)
+
+    with ThreadPoolExecutor(max_workers=THREADS) as pool:
+        futures = [pool.submit(worker, tid) for tid in range(THREADS)]
+        for f in futures:
+            f.result()  # surface worker exceptions
+
+
+def _check_index_books(mgr: SmartIndexManager):
+    entries = list(mgr._entries.values())
+    assert mgr.used_bytes == sum(e.nbytes for e in entries)
+    assert mgr.entry_count == len(entries)
+    assert mgr.used_bytes <= mgr.memory_budget_bytes
+    for block_id, keys in mgr._by_block.items():
+        for key in keys:
+            assert key in mgr._entries
+            assert mgr._entries[key].block_id == block_id
+    for pred_key, keys in mgr._by_predicate.items():
+        for key in keys:
+            assert key in mgr._entries
+            assert mgr._entries[key].predicate_key == pred_key
+    for key, entry in mgr._entries.items():
+        assert key in mgr._by_block[entry.block_id]
+        assert key in mgr._by_predicate[entry.predicate_key]
+
+
+@settings(deadline=None, max_examples=8)
+@given(seed=st.integers(0, 2**31 - 1), semantic=st.booleans())
+def test_smartindex_hammer(seed, semantic):
+    rng = np.random.default_rng(seed)
+    # A budget small enough that eviction runs concurrently with insert.
+    mgr = SmartIndexManager(
+        memory_budget_bytes=64 * 1024, compress=False, semantic=semantic
+    )
+    atoms = [
+        AtomicPredicate(f"c{i % 5}", BinaryOperator.GT, int(v))
+        for i, v in enumerate(rng.integers(0, 50, 64))
+    ]
+    blocks = [f"b{i}" for i in range(8)]
+    masks = [rng.random(512) < 0.5 for _ in range(8)]
+    plans = rng.integers(0, 2**31 - 1, THREADS)
+
+    def ops(tid, i):
+        r = np.random.default_rng(plans[tid] + i)
+        atom = atoms[int(r.integers(0, len(atoms)))]
+        block = blocks[int(r.integers(0, len(blocks)))]
+        now = float(i)
+        choice = int(r.integers(0, 5))
+        if choice == 0:
+            mgr.insert(block, atom, masks[int(r.integers(0, 8))], now,
+                       saved_s=0.001 if semantic else 0.0)
+        elif choice == 1:
+            mgr.lookup_atom(block, atom, now)
+        elif choice == 2:
+            mgr.invalidate_block(block)
+        elif choice == 3:
+            mgr.prefer_predicate(atom.key)
+        else:
+            mgr.unprefer_predicate(atom.key)
+
+    _hammer(ops, per_thread_ops=60)
+    _check_index_books(mgr)
+
+
+@settings(deadline=None, max_examples=8)
+@given(seed=st.integers(0, 2**31 - 1), admit_all=st.booleans())
+def test_ssd_cache_hammer(seed, admit_all):
+    rng = np.random.default_rng(seed)
+    cache = SsdCache(capacity_bytes=16 * 1024,
+                     admit_preferred_only=not admit_all)
+    paths = [f"/t/p{i % 4}/blk{i}" for i in range(24)]
+    cache.prefer("/t/p0/")
+    cache.prefer("/t/p1/")
+    payloads = [bytes(int(n)) for n in rng.integers(1, 2048, 16)]
+    plans = rng.integers(0, 2**31 - 1, THREADS)
+
+    def ops(tid, i):
+        r = np.random.default_rng(plans[tid] + i)
+        path = paths[int(r.integers(0, len(paths)))]
+        choice = int(r.integers(0, 5))
+        if choice <= 1:
+            cache.put(path, payloads[int(r.integers(0, len(payloads)))])
+        elif choice == 2:
+            cache.get(path)
+        elif choice == 3:
+            cache.invalidate(path)
+        else:
+            cache.prefer("/t/p2/") if tid % 2 else cache.unprefer("/t/p2/")
+
+    _hammer(ops, per_thread_ops=60)
+    assert cache.used_bytes == sum(len(v) for v in cache._entries.values())
+    assert cache.entry_count == len(cache._entries)
+    assert cache.used_bytes <= cache.capacity_bytes
+    assert cache.hits + cache.misses >= 0

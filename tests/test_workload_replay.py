@@ -81,6 +81,49 @@ def test_replay_concurrent_reuses_identical_tasks(cluster):
     assert reused > 0
 
 
+def test_replay_concurrent_sessions_overlap(cluster):
+    # Same-instant arrivals on disjoint predicates must run as
+    # overlapping sessions on the simulated clock: both start at the
+    # submit instant and their execution intervals intersect.
+    trace = [
+        TimedQuery(5.0, "u1", "SELECT COUNT(*) FROM T WHERE a > 3"),
+        TimedQuery(5.0, "u2", "SELECT SUM(b) FROM T WHERE a < 9"),
+    ]
+    report = TraceReplayer(cluster).replay(trace, concurrent=True)
+    assert report.count == 2
+    jobs = [o.job for o in report.outcomes]
+    assert all(o.submitted_at == 5.0 for o in report.outcomes)
+    assert all(j.started_at == 5.0 for j in jobs)
+    # Overlap: each job starts before the other finishes.
+    assert jobs[0].started_at < jobs[1].finished_at
+    assert jobs[1].started_at < jobs[0].finished_at
+
+
+def test_replay_concurrent_collects_out_of_order_completions(cluster):
+    # A heavier query submitted first must not block collection of a
+    # lighter one that finishes earlier; every outcome is gathered via
+    # one completion barrier, in trace order.
+    trace = [
+        TimedQuery(2.0, "u1", "SELECT SUM(b), COUNT(*) FROM T"),
+        TimedQuery(2.5, "u2", "SELECT COUNT(*) FROM T WHERE a = 1"),
+    ]
+    report = TraceReplayer(cluster).replay(trace, concurrent=True)
+    assert report.count == 2
+    assert report.success_ratio() == 1.0
+    assert [o.query.user for o in report.outcomes] == ["u1", "u2"]
+    assert all(o.job.finished_at is not None for o in report.outcomes)
+
+
+def test_replay_sequential_submitted_at_is_arrival(cluster):
+    # Regression: the sequential path once recorded submitted_at AFTER
+    # query_job ran the query to completion on the simulated clock.
+    report = TraceReplayer(cluster).replay(_trace())
+    for outcome, at in zip(report.outcomes, (10.0, 20.0, 30.0)):
+        assert outcome.submitted_at == at
+        assert outcome.submitted_at < outcome.job.finished_at
+        assert outcome.job.submitted_at == outcome.submitted_at
+
+
 def test_replay_report_percentiles(cluster):
     report = TraceReplayer(cluster).replay(_trace())
     assert report.percentile(0.5) <= report.percentile(0.99)

@@ -1,10 +1,10 @@
 #!/usr/bin/env python
-"""Dependency-free line-coverage gate for the cluster, fault, index and storage layers.
+"""Dependency-free line-coverage gate for the cluster, engine, fault, index and storage layers.
 
 The container has no ``coverage``/``pytest-cov``, so this implements the
 minimum honestly: a ``sys.settrace`` hook records executed lines in
-``repro.cluster``, ``repro.faults``, ``repro.index`` and
-``repro.storage`` while the focused test
+``repro.cluster``, ``repro.engine``, ``repro.faults``, ``repro.index``
+and ``repro.storage`` while the focused test
 suites run in-process, the denominator comes from each module's compiled
 ``co_lines()`` tables, and the gate fails if combined coverage drops
 below the floor.
@@ -30,6 +30,7 @@ SRC = os.path.join(ROOT, "src")
 #: Packages under the gate.
 TARGET_DIRS = (
     os.path.join(SRC, "repro", "cluster") + os.sep,
+    os.path.join(SRC, "repro", "engine") + os.sep,
     os.path.join(SRC, "repro", "faults") + os.sep,
     os.path.join(SRC, "repro", "index") + os.sep,
     os.path.join(SRC, "repro", "storage") + os.sep,
@@ -46,6 +47,12 @@ TEST_ARGS = [
     "tests/test_cluster_node.py",
     "tests/test_cluster_scheduler.py",
     "tests/test_cluster_state_fixes.py",
+    "tests/test_engine_aggregates.py",
+    "tests/test_engine_executor.py",
+    "tests/test_engine_operators.py",
+    "tests/test_engine_pipeline.py",
+    "tests/test_engine_serialize.py",
+    "tests/test_integration_differential.py",
     "tests/test_index_bitmap.py",
     "tests/test_index_btree.py",
     "tests/test_index_smartindex.py",
@@ -155,7 +162,7 @@ def main():
         if args.report and missed:
             print(f"{'':<{width}}  missed: {_ranges(missed)}")
     overall = total_hit / total_exec if total_exec else 1.0
-    print(f"\nTOTAL repro.cluster + repro.faults + repro.index + repro.storage: {100.0 * overall:.1f}% "
+    print(f"\nTOTAL repro.cluster + repro.engine + repro.faults + repro.index + repro.storage: {100.0 * overall:.1f}% "
           f"({total_hit}/{total_exec} lines), floor {100.0 * args.floor:.4g}%")
     if args.report:
         return 0
