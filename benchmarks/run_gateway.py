@@ -1,0 +1,90 @@
+"""Run the gateway serving bench and gate on ``BENCH_gateway.json``.
+
+Usage (from the repo root)::
+
+    PYTHONPATH=src python benchmarks/run_gateway.py            # compare
+    PYTHONPATH=src python benchmarks/run_gateway.py --update   # re-baseline
+
+Without ``--update`` the run fails (exit 1) when the S52 acceptance bar
+does not hold (all 1000 sessions complete, p99 simulated service latency
+within 3x the idle p50, windowed Jain fairness >= 0.9 across the 8
+Zipf-skewed tenants) or when key latency/fairness metrics drift past the
+committed baseline.  The same gate runs under pytest via
+``pytest -m gatewaybench benchmarks``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+from gateway_bench import acceptance_failures, regressions, run_suite  # noqa: E402
+
+BASELINE_PATH = os.path.join(os.path.dirname(__file__), "BENCH_gateway.json")
+
+
+def format_results(results) -> str:
+    idle = results["idle"]
+    sat = results["saturated_1000_sessions"]
+    lines = [
+        f"idle floor: service p50 {idle['service_p50_s'] * 1e3:.2f} ms "
+        f"(p99 {idle['service_p99_s'] * 1e3:.2f} ms over {idle['submitted']:.0f} queries)",
+        "",
+        f"saturated: {sat['sessions']:.0f} sessions, {sat['submitted']:.0f} queries, "
+        f"makespan {sat['makespan_s']:.1f} s (simulated)",
+        f"  service  p50 {sat['service_p50_s'] * 1e3:8.2f} ms   p99 "
+        f"{sat['service_p99_s'] * 1e3:8.2f} ms  ({sat['p99_over_idle_p50']:.2f}x idle p50)",
+        f"  wait     p50 {sat['queue_wait_p50_s'] * 1e3:8.2f} ms   p99 "
+        f"{sat['queue_wait_p99_s'] * 1e3:8.2f} ms",
+        f"  total    p50 {sat['total_p50_s'] * 1e3:8.2f} ms   p99 "
+        f"{sat['total_p99_s'] * 1e3:8.2f} ms",
+        f"  fairness: Jain {sat['jain_fairness']:.3f} over "
+        f"{sat['fairness_tenants']:.0f} backlogged tenants",
+        f"  outcomes: {sat['completed']:.0f} ok / {sat['failed']:.0f} failed / "
+        f"{sat['killed']:.0f} killed / {sat['timed_out']:.0f} timed out / "
+        f"{sat['rejected']:.0f} rejected",
+    ]
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite the committed baseline from this run")
+    parser.add_argument("--baseline", default=BASELINE_PATH,
+                        help="baseline JSON path")
+    args = parser.parse_args(argv)
+
+    results = run_suite()
+    print(format_results(results))
+
+    problems = acceptance_failures(results)
+    if args.update:
+        with open(args.baseline, "w") as fh:
+            json.dump({"schema_version": 1, "runs": results}, fh, indent=2,
+                      sort_keys=True)
+            fh.write("\n")
+        print(f"\nbaseline written to {args.baseline}")
+    else:
+        if not os.path.exists(args.baseline):
+            print(f"\nno baseline at {args.baseline}; run with --update first")
+            return 1
+        with open(args.baseline) as fh:
+            baseline = json.load(fh)["runs"]
+        problems.extend(regressions(results, baseline))
+
+    if problems:
+        print("\nFAIL:")
+        for p in problems:
+            print(f"  - {p}")
+        return 1
+    print("\nOK: the gateway holds latency and fairness under saturation")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

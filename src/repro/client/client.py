@@ -73,29 +73,33 @@ class FeisuClient:
 
     # -- querying -------------------------------------------------------------
 
-    def query(self, sql: str, options: Optional[JobOptions] = None) -> QueryResult:
-        """Syntax-check, verify rights, submit, record history."""
+    def _guarded_preflight(self, sql: str):
+        """The client-side checks every submission path must pass: syntax
+        with guided errors, then the ACL read pre-flight.  Returns the
+        analyzed query so callers don't parse twice."""
         report = self.check_syntax(sql)
         if not report.ok:
             raise ParseError(report.message, position=report.position, text=sql)
         analyzed = analyze(parse(sql), self.cluster.catalog)
         self.cluster.acl.check_read(self.user, [t.name for t in analyzed.tables.values()])
+        return analyzed
+
+    def query(self, sql: str, options: Optional[JobOptions] = None) -> QueryResult:
+        """Syntax-check, verify rights, submit, record history."""
+        analyzed = self._guarded_preflight(sql)
         result = self.cluster.query(sql, user=self.user, options=options)
         self.history.record(self.cluster.sim.now, self.user, sql, analyzed)
         return result
 
     def query_job(self, sql: str, options: Optional[JobOptions] = None) -> Job:
-        analyzed = analyze(parse(sql), self.cluster.catalog)
+        analyzed = self._guarded_preflight(sql)
         job = self.cluster.query_job(sql, user=self.user, options=options)
         self.history.record(self.cluster.sim.now, self.user, sql, analyzed)
         return job
 
     def explain(self, sql: str) -> str:
         """Show the master's physical plan without executing the query."""
-        report = self.check_syntax(sql)
-        if not report.ok:
-            raise ParseError(report.message, position=report.position, text=sql)
-        self.verify_access(sql)
+        self._guarded_preflight(sql)
         return self.cluster.explain(sql)
 
     def explain_analyze(self, sql: str, options: Optional[JobOptions] = None) -> str:
@@ -111,10 +115,6 @@ class FeisuClient:
 
         from repro.planner.explain import explain_analyze as render
 
-        report = self.check_syntax(sql)
-        if not report.ok:
-            raise ParseError(report.message, position=report.position, text=sql)
-        self.verify_access(sql)
         options = dataclasses.replace(options or JobOptions(), trace=True)
         job = self.query_job(sql, options=options)
         return render(job.plan, job, leaf_config=self.cluster.config.leaf)

@@ -12,13 +12,31 @@ ones so the client can install SmartIndex preferences.
 
 from __future__ import annotations
 
-from collections import Counter
+import functools
+import threading
+from collections import Counter, deque
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Deque, Dict, List, Optional, Tuple
 
 from repro.planner.cnf import to_cnf
 from repro.sql.analyzer import AnalyzedQuery
 from repro.sql.ast import Column, walk
+
+
+def _locked(method):
+    """Serialize a public entry point on the instance's ``_lock``.
+
+    Gateway sessions record history from concurrent drivers (and the
+    fused pipeline's morsel workers are real OS threads); an RLock keeps
+    the log and its derived counters consistent — the same pattern as
+    ``SmartIndexManager``."""
+
+    @functools.wraps(method)
+    def wrapper(self, *args, **kwargs):
+        with self._lock:
+            return method(self, *args, **kwargs)
+
+    return wrapper
 
 
 @dataclass(frozen=True)
@@ -38,7 +56,11 @@ class QueryHistory:
 
     def __init__(self, capacity: int = 100_000):
         self.capacity = capacity
-        self._entries: List[HistoryEntry] = []
+        # deque(maxlen=...) drops the oldest entry in O(1) per insert;
+        # the previous list rebuild was O(capacity) per query once full —
+        # quadratic over a long session.
+        self._entries: Deque[HistoryEntry] = deque(maxlen=capacity)
+        self._lock = threading.RLock()
 
     def record(self, at: float, user: str, sql: str, analyzed: AnalyzedQuery) -> HistoryEntry:
         columns = set()
@@ -59,18 +81,21 @@ class QueryHistory:
             columns=tuple(sorted(columns)),
             predicate_keys=keys,
         )
-        self._entries.append(entry)
-        if len(self._entries) > self.capacity:
-            self._entries = self._entries[-self.capacity :]
+        self._append(entry)
         return entry
 
+    @_locked
+    def _append(self, entry: HistoryEntry) -> None:
+        self._entries.append(entry)
+
+    @_locked
     def entries(self, user: Optional[str] = None, since: Optional[float] = None) -> List[HistoryEntry]:
-        out = self._entries
+        out: List[HistoryEntry] = list(self._entries)
         if user is not None:
             out = [e for e in out if e.user == user]
         if since is not None:
             out = [e for e in out if e.at >= since]
-        return list(out)
+        return out
 
     def frequent_predicates(
         self, user: Optional[str] = None, since: Optional[float] = None, top: int = 10
@@ -90,5 +115,6 @@ class QueryHistory:
             counter.update(set(entry.columns))
         return counter.most_common(top)
 
+    @_locked
     def __len__(self) -> int:
         return len(self._entries)

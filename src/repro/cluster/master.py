@@ -50,6 +50,52 @@ from repro.sql.parser import parse
 #: How many distinct leaves one task may be attempted on before failing.
 MAX_TASK_ATTEMPTS = 4
 
+#: Default cap on concurrently running jobs (§III-C candidate queue);
+#: deployments size it via ``FeisuConfig.max_concurrent_jobs``.
+DEFAULT_MAX_CONCURRENT_JOBS = 64
+
+
+class CandidateQueue:
+    """The master's admitted-but-not-yet-emitted job queue (§III-C).
+
+    Extracted from the master so the emission *policy* is pluggable: the
+    default is strict FIFO (the paper's candidate queue); a serving
+    front-end may install a subclass whose :meth:`pop_next` implements a
+    different order.  The master only ever calls these five methods, so
+    a policy override cannot corrupt job bookkeeping.
+    """
+
+    def __init__(self) -> None:
+        self._queue: List[Tuple[Job, Event]] = []
+
+    def push(self, job: Job, done: Event) -> None:
+        self._queue.append((job, done))
+
+    def pop_next(self) -> Optional[Tuple[Job, Event]]:
+        """The next job to emit, or None when empty."""
+        if not self._queue:
+            return None
+        return self._queue.pop(0)
+
+    def remove(self, job_id: str) -> Optional[Tuple[Job, Event]]:
+        """Withdraw a queued job (cancellation) without emitting it."""
+        for i, (job, done) in enumerate(self._queue):
+            if job.job_id == job_id:
+                del self._queue[i]
+                return job, done
+        return None
+
+    def drain(self) -> List[Tuple[Job, Event]]:
+        """Empty the queue, returning what was waiting (master failover)."""
+        waiting, self._queue = self._queue, []
+        return waiting
+
+    def jobs(self) -> List[Tuple[Job, Event]]:
+        return list(self._queue)
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
 
 def _straggler_watchdog(
     sim: Simulator,
@@ -152,6 +198,8 @@ class Master:
         reuse_completed_window_s: float = 0.0,
         service_credential: Optional[Credential] = None,
         ledger=None,
+        max_concurrent_jobs: int = DEFAULT_MAX_CONCURRENT_JOBS,
+        candidate_queue: Optional[CandidateQueue] = None,
     ):
         #: Cross-domain credential the master uses for internal data
         #: movement (broadcast-table reads); mirrors SSO's "mapping their
@@ -169,10 +217,11 @@ class Master:
         self._stems: Dict[Tuple[int, int], StemServer] = {}
         self._dc_stems: Dict[int, StemServer] = {}
         #: §III-C: admitted jobs wait in a candidate queue until the
-        #: scheduler emits them; this caps concurrently running jobs.
-        self.max_concurrent_jobs = 64
+        #: scheduler emits them; this caps concurrently running jobs —
+        #: the master-level "resource agreement" knob.
+        self.max_concurrent_jobs = max_concurrent_jobs
         self._running_jobs = 0
-        self._candidate_queue: List[Tuple[Job, Event]] = []
+        self._candidate_queue = candidate_queue if candidate_queue is not None else CandidateQueue()
         #: Durable job history replicated to the backup master (§III-C).
         self.ledger = ledger
         self._active: Dict[str, Tuple[Job, Event]] = {}
@@ -240,6 +289,19 @@ class Master:
         admission failures raise synchronously, exactly like the paper's
         client-side verification.
         """
+        job = self.admit(sql, user, cred, options)
+        return self.launch(job)
+
+    def admit(
+        self,
+        sql: str,
+        user: str,
+        cred: Optional[Credential],
+        options: Optional[JobOptions] = None,
+    ) -> Job:
+        """The admission half of :meth:`submit`: parse, analyze, entry
+        guard, plan, register.  Raises synchronously on any rejection;
+        the returned job has not yet entered the candidate queue."""
         if self._shut_down:
             raise ClusterStateError("this master has shut down; resubmit to its successor")
         options = options or JobOptions()
@@ -249,11 +311,17 @@ class Master:
         plan = build_plan(analyzed)
         job = new_job(user, sql, plan, options, self.sim.now)
         self.job_manager.register(job)
+        return job
+
+    def launch(self, job: Job) -> Tuple[Job, Event]:
+        """The emission half of :meth:`submit`: run now if a slot is
+        free, otherwise wait in the candidate queue.  Reentrant — any
+        number of launched jobs interleave on the event loop."""
         done = self.sim.event(name=f"{job.job_id}.done")
         if self._running_jobs < self.max_concurrent_jobs:
             self._emit(job, done)
         else:
-            self._candidate_queue.append((job, done))
+            self._candidate_queue.push(job, done)
         return job, done
 
     def _emit(self, job: Job, done: Event) -> None:
@@ -303,7 +371,7 @@ class Master:
         self._shut_down = True
         aborted = 0
         exc = ClusterStateError("master failed over; resubmit the query")
-        for job, done in list(self._active.values()) + list(self._candidate_queue):
+        for job, done in list(self._active.values()) + self._candidate_queue.jobs():
             if job.status in (JobStatus.PENDING, JobStatus.RUNNING):
                 job.status = JobStatus.FAILED
                 job.error = exc
@@ -313,15 +381,16 @@ class Master:
                 if not done.triggered:
                     done.succeed(job)
                 aborted += 1
-        self._candidate_queue.clear()
+        self._candidate_queue.drain()
         self._running_jobs = 0
         return aborted
 
     def _job_finished(self) -> None:
         self._running_jobs -= 1
-        if self._candidate_queue and self._running_jobs < self.max_concurrent_jobs:
-            job, done = self._candidate_queue.pop(0)
-            self._emit(job, done)
+        if len(self._candidate_queue) and self._running_jobs < self.max_concurrent_jobs:
+            hit = self._candidate_queue.pop_next()
+            if hit is not None:
+                self._emit(*hit)
 
     @property
     def queued_jobs(self) -> int:
@@ -338,15 +407,15 @@ class Master:
         """
         from repro.errors import QueryCancelled
 
-        for i, (job, done) in enumerate(self._candidate_queue):
-            if job.job_id == job_id:
-                del self._candidate_queue[i]
-                job.status = JobStatus.FAILED
-                job.error = QueryCancelled(f"{job_id} cancelled while queued")
-                job.finished_at = self.sim.now
-                self._record_terminal(job)
-                done.succeed(job)
-                return True
+        queued = self._candidate_queue.remove(job_id)
+        if queued is not None:
+            job, done = queued
+            job.status = JobStatus.FAILED
+            job.error = QueryCancelled(f"{job_id} cancelled while queued")
+            job.finished_at = self.sim.now
+            self._record_terminal(job)
+            done.succeed(job)
+            return True
         hit = self._active.get(job_id)
         if hit is None:
             return False

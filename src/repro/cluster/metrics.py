@@ -46,6 +46,20 @@ class ClusterMetrics:
     heartbeats_received: int = 0
     jobs_queued: int = 0
     results_spilled: int = 0
+    # Gateway serving counters (all zero when no gateway is configured).
+    gateway_sessions_open: int = 0
+    gateway_queue_depth: int = 0
+    gateway_running: int = 0
+    gateway_admitted: int = 0
+    gateway_rejected: int = 0
+    gateway_completed: int = 0
+    gateway_failed: int = 0
+    gateway_killed: int = 0
+    gateway_timed_out: int = 0
+    gateway_memory_in_use: float = 0.0
+    #: Per-tenant queue depth keyed by tenant name (not in ``as_dict``,
+    #: whose schema is flat floats; read it off the snapshot directly).
+    gateway_tenant_queue_depth: Dict[str, int] = field(default_factory=dict)
 
     def as_dict(self) -> Dict[str, float]:
         return {
@@ -70,6 +84,16 @@ class ClusterMetrics:
             "heartbeats_received": self.heartbeats_received,
             "jobs_queued": self.jobs_queued,
             "results_spilled": self.results_spilled,
+            "gateway_sessions_open": self.gateway_sessions_open,
+            "gateway_queue_depth": self.gateway_queue_depth,
+            "gateway_running": self.gateway_running,
+            "gateway_admitted": self.gateway_admitted,
+            "gateway_rejected": self.gateway_rejected,
+            "gateway_completed": self.gateway_completed,
+            "gateway_failed": self.gateway_failed,
+            "gateway_killed": self.gateway_killed,
+            "gateway_timed_out": self.gateway_timed_out,
+            "gateway_memory_in_use": self.gateway_memory_in_use,
         }
 
 
@@ -116,6 +140,23 @@ def collect_metrics(cluster) -> ClusterMetrics:
     m.heartbeats_received = cluster.cluster_manager.heartbeats_received
     m.jobs_queued = cluster.master.queued_jobs
     m.results_spilled = sum(j.stats.results_spilled for j in jobs)
+
+    gateway = getattr(cluster, "gateway", None)
+    if gateway is not None:
+        snap = gateway.snapshot()
+        m.gateway_sessions_open = snap.sessions_open
+        m.gateway_queue_depth = snap.queue_depth
+        m.gateway_running = snap.running
+        m.gateway_admitted = snap.admitted
+        m.gateway_rejected = snap.rejected
+        m.gateway_completed = snap.completed
+        m.gateway_failed = snap.failed
+        m.gateway_killed = snap.killed
+        m.gateway_timed_out = snap.timed_out
+        m.gateway_memory_in_use = snap.memory_in_use
+        m.gateway_tenant_queue_depth = {
+            name: ts.queue_depth for name, ts in snap.tenants.items()
+        }
     return m
 
 

@@ -14,6 +14,7 @@ different node; the first completion wins.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
@@ -66,15 +67,25 @@ class JobScheduler:
         #: when set, placement follows the promoted replica set.
         self.tiering = None
         self._leaves: Dict[str, LeafServer] = {}
+        #: Address → leaf map; ``leaf_at`` used to scan every leaf per
+        #: call, O(n) on the result-return path of every task.
+        self._by_address: Dict[NodeAddress, LeafServer] = {}
         self._rr = 0
         self.placements_local = 0
         self.placements_remote = 0
+        # Interleaved submissions (gateway sessions, morsel workers in
+        # tests) mutate the round-robin cursor and placement counters;
+        # an RLock keeps increments atomic so concurrent placement
+        # neither skips nor double-counts a slot.
+        self._lock = threading.RLock()
         #: Workers explicitly re-admitted after being declared dead
         #: (wired to :meth:`ClusterManager.on_readmit`).
         self.readmitted_workers: List[str] = []
 
     def register_leaf(self, leaf: LeafServer) -> None:
-        self._leaves[leaf.worker_id] = leaf
+        with self._lock:
+            self._leaves[leaf.worker_id] = leaf
+            self._by_address[leaf.address] = leaf
 
     def note_readmission(self, worker_id: str) -> None:
         """Cluster-manager callback: a dead-marked worker heartbeat again
@@ -85,10 +96,7 @@ class JobScheduler:
         return list(self._leaves.values())
 
     def leaf_at(self, address: NodeAddress) -> Optional[LeafServer]:
-        for leaf in self._leaves.values():
-            if leaf.address == address:
-                return leaf
-        return None
+        return self._by_address.get(address)
 
     def _effective_path(self, task: ScanTask) -> str:
         """The path the leaf will actually read — promoted hot copy when
@@ -116,8 +124,10 @@ class JobScheduler:
         if not alive:
             raise SchedulingError(f"no live leaf available for task {task.task_id}")
         if not self.locality_aware:
-            leaf = alive[self._rr % len(alive)]
-            self._rr += 1
+            with self._lock:
+                cursor = self._rr
+                self._rr += 1
+            leaf = alive[cursor % len(alive)]
             local = self._is_local(leaf, task)
             self._count(local)
             return Placement(leaf, local, self._estimate(leaf, task, cnf, local))
@@ -148,10 +158,11 @@ class JobScheduler:
         return leaf.address in system.locations(inner)
 
     def _count(self, local: bool) -> None:
-        if local:
-            self.placements_local += 1
-        else:
-            self.placements_remote += 1
+        with self._lock:
+            if local:
+                self.placements_local += 1
+            else:
+                self.placements_remote += 1
 
     def _estimate(
         self, leaf: LeafServer, task: ScanTask, cnf: ConjunctiveForm, local: bool

@@ -55,6 +55,16 @@ class FeisuConfig:
     locality_aware: bool = True
     #: Reuse window for completed identical tasks (0 = running jobs only).
     reuse_completed_window_s: float = 0.0
+    #: Master-level "resource agreement" knob (§III): cap on jobs
+    #: running concurrently; admitted jobs beyond it wait in the
+    #: candidate queue.
+    max_concurrent_jobs: int = 64
+    #: Multi-tenant SQL gateway (S52).  ``None`` (the default) builds no
+    #: gateway at all — no extra objects, no simulation events — so
+    #: committed figure results stay byte-identical; set a
+    #: :class:`repro.gateway.GatewayConfig` to serve sessions through
+    #: admission control and fair-share scheduling.
+    gateway: Optional["object"] = None
 
     def topology(self) -> TopologySpec:
         return TopologySpec(self.datacenters, self.racks_per_datacenter, self.nodes_per_rack)
@@ -190,6 +200,15 @@ class FeisuCluster:
         self._default_user = "analyst"
         self.create_user(self._default_user, admin=True)
 
+        #: Multi-tenant SQL gateway (S52); constructed only when the
+        #: config carries a :class:`~repro.gateway.GatewayConfig` so the
+        #: direct ``cluster.query()`` path is untouched by default.
+        self.gateway = None
+        if self.config.gateway is not None:
+            from repro.gateway import SQLGateway
+
+            self.gateway = SQLGateway(self, self.config.gateway)
+
     def install_faults(self, plan, seed: int = 0):
         """Install a :class:`~repro.faults.plan.FaultPlan` on this cluster.
 
@@ -219,6 +238,7 @@ class FeisuCluster:
                 ttl_s=10 * 365 * 86400.0,
             ),
             ledger=self.job_ledger,
+            max_concurrent_jobs=self.config.max_concurrent_jobs,
         )
 
     def fail_master(self) -> int:
@@ -415,10 +435,10 @@ class FeisuCluster:
         )
 
     def leaf_at(self, address: NodeAddress) -> LeafServer:
-        for leaf in self.leaves:
-            if leaf.address == address:
-                return leaf
-        raise FeisuError(f"no leaf at {address}")
+        leaf = self.scheduler.leaf_at(address)
+        if leaf is None:
+            raise FeisuError(f"no leaf at {address}")
+        return leaf
 
     def metrics(self):
         """Point-in-time monitoring snapshot (§III-C's shadow-served

@@ -92,6 +92,16 @@ class QueryCancelled(FeisuError):
     """The user cancelled the job before it finished."""
 
 
+class GatewayOverloadedError(FeisuError):
+    """The gateway rejected a submission: the tenant's admission queue is
+    at its configured depth (back-pressure instead of unbounded backlog)."""
+
+
+class SessionClosedError(FeisuError):
+    """A submission arrived on a gateway session that was closed or
+    killed; open a new session to continue."""
+
+
 class IndexError_(FeisuError):
     """SmartIndex bookkeeping failure (corrupt entry, schema mismatch)."""
 

@@ -1,0 +1,48 @@
+"""Multi-tenant SQL gateway: sessions, admission control, fair share (S52).
+
+Enable by setting :class:`~repro.core.feisu.FeisuConfig`'s ``gateway``
+field to a :class:`GatewayConfig`; the cluster then exposes the built
+:class:`SQLGateway` as ``cluster.gateway``.  With the field left
+``None`` (the default) nothing here is even imported.
+"""
+
+from repro.gateway.admission import AdmissionController, estimate_query_memory
+from repro.gateway.config import GatewayConfig, TenantPolicy
+from repro.gateway.driver import (
+    MultiSessionReport,
+    TenantReport,
+    build_report,
+    jain_index,
+    percentile,
+    run_sessions,
+)
+from repro.gateway.fairshare import DeficitRoundRobin, TenantQueue
+from repro.gateway.gateway import GatewaySnapshot, SQLGateway, TenantSnapshot
+from repro.gateway.session import (
+    GatewayQuery,
+    GatewaySession,
+    QueryStatus,
+    SessionState,
+)
+
+__all__ = [
+    "AdmissionController",
+    "DeficitRoundRobin",
+    "GatewayConfig",
+    "GatewayQuery",
+    "GatewaySession",
+    "GatewaySnapshot",
+    "MultiSessionReport",
+    "QueryStatus",
+    "SQLGateway",
+    "SessionState",
+    "TenantPolicy",
+    "TenantQueue",
+    "TenantReport",
+    "TenantSnapshot",
+    "build_report",
+    "estimate_query_memory",
+    "jain_index",
+    "percentile",
+    "run_sessions",
+]

@@ -35,6 +35,47 @@ class TimedQuery:
     sql: str
 
 
+@dataclass(frozen=True)
+class SessionTrace:
+    """One gateway session: who opens it, when, and its query stream.
+
+    ``queries`` carry *absolute* submission times (simulated seconds), all
+    at or after ``opens_at_s``; the driver replays them against an open
+    :class:`~repro.gateway.session.GatewaySession`.
+    """
+
+    tenant: str
+    user: str
+    opens_at_s: float
+    queries: Tuple[TimedQuery, ...]
+
+
+@dataclass
+class MultiTenantConfig:
+    """Knobs for the concurrent multi-tenant session workload (S52).
+
+    Tenant popularity is Zipf-distributed: session ``i`` belongs to
+    tenant rank ``r`` with probability ∝ ``1 / (r+1) ** zipf_exponent``,
+    reproducing the production skew where a couple of business units
+    dominate the gateway while a long tail trickles.
+    """
+
+    num_tenants: int = 8
+    num_sessions: int = 1000
+    #: Zipf popularity exponent across tenant ranks (0 = uniform).
+    zipf_exponent: float = 1.1
+    #: Mean queries per session (Gaussian around this, min 1).
+    queries_per_session: float = 2.0
+    #: Mean think time between one session's consecutive queries.
+    think_time_s: float = 2.0
+    #: Sessions open uniformly over this window — thousands of sessions
+    #: arriving within a minute is what saturates admission control.
+    open_window_s: float = 60.0
+    columns_per_session: int = 3
+    aggregate_fraction: float = 0.7
+    seed: int = 42
+
+
 @dataclass
 class WorkloadConfig:
     """Knobs controlling locality/similarity strength."""
@@ -175,6 +216,66 @@ class WorkloadGenerator:
                 t += rng.expovariate(1.0 / (cfg.think_time_s * 2))
         out.sort(key=lambda q: q.at_s)
         return out
+
+
+def multi_tenant_sessions(
+    table: str,
+    schema: Schema,
+    config: Optional[MultiTenantConfig] = None,
+    value_ranges: Optional[Dict[str, Tuple[float, float]]] = None,
+    contains_values: Optional[Dict[str, List[str]]] = None,
+) -> List[SessionTrace]:
+    """Generate Zipf-skewed concurrent session traces for the gateway.
+
+    Each trace is one session of one tenant's shared service account
+    (``<tenant>-svc``); query text reuses the drill-down synthesis of
+    :class:`WorkloadGenerator` so locality/similarity match the paper's
+    trace profile.  Returned traces are sorted by open time.
+    """
+    cfg = config or MultiTenantConfig()
+    gen = WorkloadGenerator(
+        table,
+        schema,
+        WorkloadConfig(
+            columns_per_session=cfg.columns_per_session,
+            aggregate_fraction=cfg.aggregate_fraction,
+            seed=cfg.seed,
+        ),
+        value_ranges=value_ranges,
+        contains_values=contains_values,
+    )
+    rng = gen._rng  # noqa: SLF001 - one stream keeps the trace deterministic
+    tenants = [f"tenant{r:02d}" for r in range(cfg.num_tenants)]
+    weights = [1.0 / (r + 1) ** cfg.zipf_exponent for r in range(cfg.num_tenants)]
+    hot_columns = (gen._numeric + gen._strings)[  # noqa: SLF001
+        : max(4, cfg.columns_per_session * 5)
+    ]
+    traces: List[SessionTrace] = []
+    for _ in range(cfg.num_sessions):
+        tenant = rng.choices(tenants, weights=weights, k=1)[0]
+        user = f"{tenant}-svc"
+        opens_at = rng.uniform(0.0, cfg.open_window_s)
+        session_cols = gen._session_columns(hot_columns)  # noqa: SLF001
+        aggregate = rng.random() < cfg.aggregate_fraction
+        length = max(1, round(rng.gauss(cfg.queries_per_session, 1.0)))
+        t = opens_at
+        predicates: List[str] = []
+        queries: List[TimedQuery] = []
+        for step in range(length):
+            if step > 0:
+                predicates.append(gen._next_predicate(user, session_cols))  # noqa: SLF001
+            sql = f"SELECT {gen._select_clause(session_cols, aggregate)} FROM {table}"  # noqa: SLF001
+            if predicates:
+                sql += " WHERE " + " AND ".join(f"({p})" for p in predicates)
+            queries.append(TimedQuery(at_s=t, user=user, sql=sql))
+            t += rng.expovariate(1.0 / cfg.think_time_s)
+        traces.append(
+            SessionTrace(
+                tenant=tenant, user=user, opens_at_s=opens_at, queries=tuple(queries)
+            )
+        )
+    traces.sort(key=lambda s: s.opens_at_s)
+    return traces
 
 
 def scan_query_stream(

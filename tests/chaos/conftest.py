@@ -39,9 +39,15 @@ def build_cluster(
     block_rows: int = 500,
     data_seed: int = 7,
     leaf=None,
+    gateway=None,
 ):
     """A fresh wired cluster with known contents (fact T, dimension D)."""
-    config = FeisuConfig(datacenters=1, racks_per_datacenter=2, nodes_per_rack=nodes_per_rack)
+    config = FeisuConfig(
+        datacenters=1,
+        racks_per_datacenter=2,
+        nodes_per_rack=nodes_per_rack,
+        gateway=gateway,
+    )
     if leaf is not None:
         config.leaf = leaf
     cluster = FeisuCluster(config)

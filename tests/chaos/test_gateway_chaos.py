@@ -1,0 +1,113 @@
+"""Gateway chaos scenarios (S52): serving under crashes and stragglers.
+
+The gateway sits upstream of everything the fault injector attacks, so
+its invariants are about *bookkeeping under failure*: every admitted
+query resolves exactly once, slots drain back to zero whatever mix of
+successes, retries, kills and crashed leaves produced the resolutions,
+and answers that do arrive are still exactly right (shared oracle).
+"""
+
+import pytest
+
+from repro.cluster.jobs import JobStatus
+from repro.faults import CrashWindow, FaultPlan, SlowNode
+from repro.gateway import GatewayConfig, QueryStatus, TenantPolicy
+
+from tests.chaos.conftest import DEFAULT_SEED, make_harness
+
+pytestmark = pytest.mark.chaos
+
+GATEWAY = GatewayConfig(
+    total_slots=3,
+    default_policy=TenantPolicy(max_concurrent=2, max_queued=128),
+)
+
+
+def gateway_harness(seed):
+    harness = make_harness(seed, gateway=GATEWAY)
+    for user in ("ads-svc", "search-svc"):
+        harness.cluster.create_user(user, domains=["*"])
+        harness.cluster.acl.grant(user, "T")
+        harness.cluster.acl.grant(user, "D")
+    return harness
+
+
+def drain(harness, limit_s=600.0):
+    gateway = harness.cluster.gateway
+    sim = harness.sim
+    deadline = sim.now + limit_s
+    while gateway.in_flight() > 0:
+        assert sim.step(), "deadlock draining the gateway under faults"
+        assert sim.now <= deadline, "gateway did not drain within the horizon"
+
+
+def check_resolved(harness, handles):
+    """Every admitted handle resolved exactly once; correct answers only."""
+    monitor = harness.monitor
+    for handle in handles:
+        assert handle.terminal, handle
+        assert handle.done.triggered
+        if handle.job is not None and handle.job.status in (
+            JobStatus.SUCCEEDED,
+            JobStatus.FAILED,
+            JobStatus.TIMED_OUT,
+        ):
+            monitor.check_job(handle.job, sql=handle.sql)
+    assert harness.cluster.gateway.admission.running == 0
+    assert harness.cluster.gateway.admission.memory_in_use == pytest.approx(0.0)
+
+
+def test_gateway_serves_through_crash_and_straggler(seed):
+    """A leaf crash plus a 10x straggler mid-burst: admitted queries all
+    resolve, completed answers match the oracle, and the slot pool is
+    clean afterwards."""
+    harness = gateway_harness(seed)
+    harness.install(
+        FaultPlan().add(
+            CrashWindow(worker="leaf-dc0/rack1/node1", at=0.001, restart_after=2.0),
+            SlowNode(worker="leaf-dc0/rack0/node2", at=0.0, duration=5.0, factor=10.0),
+        )
+    )
+    gateway = harness.cluster.gateway
+    ads = gateway.open_session("ads-svc", tenant="ads")
+    search = gateway.open_session("search-svc", tenant="search")
+    handles = []
+    for _ in range(4):
+        handles.append(ads.submit(harness.Q_COUNT))
+        handles.append(search.submit(harness.Q_GROUP))
+    handles.append(ads.submit(harness.Q_JOIN))
+    drain(harness)
+    check_resolved(harness, handles)
+    if seed == DEFAULT_SEED:
+        # Failure-handling (retries/backups) rescues the whole batch.
+        assert all(h.status is QueryStatus.SUCCEEDED for h in handles)
+    harness.finish("gateway_crash_and_straggler")
+
+
+def test_killed_session_releases_slots_under_faults(seed):
+    """Killing a session mid-crash-window must release its slots: the
+    surviving tenant's backlog completes and the books return to zero."""
+    harness = gateway_harness(seed)
+    harness.install(
+        FaultPlan().add(
+            CrashWindow(worker="leaf-dc0/rack1/node2", at=0.001, restart_after=1.5),
+        )
+    )
+    gateway = harness.cluster.gateway
+    ads = gateway.open_session("ads-svc", tenant="ads")
+    search = gateway.open_session("search-svc", tenant="search")
+    doomed = [ads.submit(harness.Q_GROUP) for _ in range(5)]
+    survivors = [search.submit(harness.Q_COUNT) for _ in range(5)]
+    # Let the first emissions start, then tear the ads session down.
+    for _ in range(3):
+        harness.sim.step()
+    killed = ads.kill()
+    assert killed >= 1
+    drain(harness)
+    check_resolved(harness, doomed + survivors)
+    assert all(h.status is QueryStatus.KILLED for h in doomed)
+    if seed == DEFAULT_SEED:
+        assert all(h.status is QueryStatus.SUCCEEDED for h in survivors)
+    tq = gateway.admission.tenant("ads")
+    assert tq.killed == len(doomed)
+    harness.finish("gateway_killed_session_under_faults")
