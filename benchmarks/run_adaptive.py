@@ -1,0 +1,84 @@
+"""Run the adaptive misestimate-ablation bench and gate on ``BENCH_adaptive.json``.
+
+Usage (from the repo root)::
+
+    PYTHONPATH=src python benchmarks/run_adaptive.py            # compare
+    PYTHONPATH=src python benchmarks/run_adaptive.py --update   # re-baseline
+
+Without ``--update`` the run fails (exit 1) when the S53 acceptance bar
+does not hold (adaptive rows identical to the frozen plan's, every query
+re-planned, modeled IO conserved within per-slice rounding, mean
+simulated latency cut by >= 25% on the misestimated skewed-join
+workload) or when the improvement drifts past the committed baseline.
+The same gate runs under pytest via ``pytest -m adaptivebench benchmarks``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+from adaptive_bench import acceptance_failures, regressions, run_suite  # noqa: E402
+
+BASELINE_PATH = os.path.join(os.path.dirname(__file__), "BENCH_adaptive.json")
+
+
+def format_results(results) -> str:
+    r = results["misestimate_ablation"]
+    lines = [
+        f"misestimate ablation: {r['queries']:.0f} skewed-join queries, "
+        f"{r['replanned_queries']:.0f} re-planned",
+        f"  frozen   mean latency {r['frozen_mean_latency_s']:8.4f} s (simulated)",
+        f"  adaptive mean latency {r['adaptive_mean_latency_s']:8.4f} s (simulated)",
+        f"  improvement: mean {r['mean_improvement']:.1%}   "
+        f"worst query {r['min_improvement']:.1%}",
+        f"  modeled IO ratio (adaptive/frozen, max over queries): "
+        f"{r['io_ratio_max']:.6f}",
+        f"  rows identical on every query: "
+        f"{'yes' if r['rows_identical'] == 1.0 else 'NO'}",
+    ]
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite the committed baseline from this run")
+    parser.add_argument("--baseline", default=BASELINE_PATH,
+                        help="baseline JSON path")
+    args = parser.parse_args(argv)
+
+    results = run_suite()
+    print(format_results(results))
+
+    problems = acceptance_failures(results)
+    if args.update:
+        with open(args.baseline, "w") as fh:
+            json.dump({"schema_version": 1, "runs": results}, fh, indent=2,
+                      sort_keys=True)
+            fh.write("\n")
+        print(f"\nbaseline written to {args.baseline}")
+    else:
+        if not os.path.exists(args.baseline):
+            print(f"\nno baseline at {args.baseline}; run with --update first")
+            return 1
+        with open(args.baseline) as fh:
+            baseline = json.load(fh)["runs"]
+        problems.extend(regressions(results, baseline))
+
+    if problems:
+        print("\nFAIL:")
+        for p in problems:
+            print(f"  - {p}")
+        return 1
+    print("\nOK: adaptive re-optimization beats the frozen plan without "
+          "changing answers")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

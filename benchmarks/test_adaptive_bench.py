@@ -1,0 +1,57 @@
+"""Adaptive misestimate-ablation gate (S53).
+
+Opt-in gate: ``pytest -m adaptivebench benchmarks``.  Runs the
+skewed-join workload — whose CONTAINS predicate the static planner
+misestimates by ~6x — on frozen vs. adaptive twins and asserts (a) the
+S53 acceptance bar — identical rows, every query re-planned, modeled IO
+conserved, mean simulated latency cut by >= 25% — and (b) no improvement
+drift past the committed ``BENCH_adaptive.json`` baseline.  Mirrors the
+gatewaybench gate.
+"""
+
+import json
+import os
+import sys
+
+import pytest
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+import adaptive_bench as _ab  # noqa: E402
+
+BASELINE = os.path.join(os.path.dirname(__file__), "BENCH_adaptive.json")
+
+
+@pytest.fixture(scope="module")
+def adaptive_results():
+    return _ab.run_suite()
+
+
+@pytest.mark.adaptivebench
+def test_adaptive_acceptance(adaptive_results):
+    assert _ab.acceptance_failures(adaptive_results) == []
+
+
+@pytest.mark.adaptivebench
+def test_adaptive_baseline_regression(adaptive_results):
+    assert os.path.exists(BASELINE), (
+        "no committed baseline; run run_adaptive.py --update"
+    )
+    with open(BASELINE) as fh:
+        baseline = json.load(fh)["runs"]
+    assert _ab.regressions(adaptive_results, baseline) == []
+
+
+@pytest.mark.adaptivebench
+def test_adaptive_baseline_schema():
+    with open(BASELINE) as fh:
+        doc = json.load(fh)
+    assert doc["schema_version"] == 1
+    runs = doc["runs"]
+    assert set(runs) == {"misestimate_ablation"}
+    r = runs["misestimate_ablation"]
+    assert r["queries"] == _ab.NUM_QUERIES
+    assert r["rows_identical"] == 1.0
+    assert r["replanned_queries"] == r["queries"]
+    assert r["mean_improvement"] >= _ab.MIN_MEAN_IMPROVEMENT
+    assert r["io_ratio_max"] <= _ab.MAX_IO_RATIO

@@ -85,16 +85,39 @@ class FeisuClient:
         return analyzed
 
     def query(self, sql: str, options: Optional[JobOptions] = None) -> QueryResult:
-        """Syntax-check, verify rights, submit, record history."""
-        analyzed = self._guarded_preflight(sql)
-        result = self.cluster.query(sql, user=self.user, options=options)
-        self.history.record(self.cluster.sim.now, self.user, sql, analyzed)
-        return result
+        """Syntax-check, verify rights, submit, record history.
+
+        Routes through :meth:`query_job` so the recorded history entry
+        carries the executed job's plan digests (pre and, under the
+        adaptive re-optimizer, post re-plan).
+        """
+        job = self.query_job(sql, options=options)
+        if job.error is not None:
+            raise job.error
+        assert job.result is not None
+        job.result.stats["response_time_s"] = job.stats.response_time_s
+        return job.result
 
     def query_job(self, sql: str, options: Optional[JobOptions] = None) -> Job:
         analyzed = self._guarded_preflight(sql)
         job = self.cluster.query_job(sql, user=self.user, options=options)
-        self.history.record(self.cluster.sim.now, self.user, sql, analyzed)
+        # History keeps the ORIGINAL plan fingerprint even when the
+        # adaptive path re-planned mid-query; the post-re-plan digest is
+        # a separate field so it can be cross-checked against EXPLAIN
+        # ANALYZE's "plan digest: X -> Y" line.
+        digest = getattr(job, "plan_digest", "")
+        if not digest and job.plan is not None:
+            from repro.planner.adaptive import plan_fingerprint
+
+            digest = plan_fingerprint(job.plan)
+        self.history.record(
+            self.cluster.sim.now,
+            self.user,
+            sql,
+            analyzed,
+            plan_digest=digest,
+            post_plan_digest=getattr(job, "replanned_plan_digest", None),
+        )
         return job
 
     def explain(self, sql: str) -> str:

@@ -49,6 +49,14 @@ class HistoryEntry:
     tables: Tuple[str, ...]
     columns: Tuple[str, ...]
     predicate_keys: Tuple[str, ...]
+    #: Fingerprint of the plan the master *initially* produced.  An
+    #: adaptive re-plan must never rewrite this — history answers "what
+    #: did the optimizer first decide", and the re-planned digest is
+    #: recorded separately so EXPLAIN ANALYZE and history agree.
+    plan_digest: str = ""
+    #: Fingerprint after a mid-query re-plan, ``None`` when the plan ran
+    #: unchanged (frozen path, or adaptive run with no trigger).
+    post_plan_digest: Optional[str] = None
 
 
 class QueryHistory:
@@ -62,7 +70,15 @@ class QueryHistory:
         self._entries: Deque[HistoryEntry] = deque(maxlen=capacity)
         self._lock = threading.RLock()
 
-    def record(self, at: float, user: str, sql: str, analyzed: AnalyzedQuery) -> HistoryEntry:
+    def record(
+        self,
+        at: float,
+        user: str,
+        sql: str,
+        analyzed: AnalyzedQuery,
+        plan_digest: str = "",
+        post_plan_digest: Optional[str] = None,
+    ) -> HistoryEntry:
         columns = set()
         for exprs in ([analyzed.query.where] if analyzed.query.where else []):
             for node in walk(exprs):
@@ -80,6 +96,8 @@ class QueryHistory:
             tables=tuple(sorted(t.name for t in analyzed.tables.values())),
             columns=tuple(sorted(columns)),
             predicate_keys=keys,
+            plan_digest=plan_digest,
+            post_plan_digest=post_plan_digest,
         )
         self._append(entry)
         return entry

@@ -13,7 +13,7 @@ replication of master-component state is provided by
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Generator, List, Optional, Set, Tuple
+from typing import Dict, Generator, List, Optional, Sequence, Set, Tuple
 
 from repro.cluster.jobs import (
     Job,
@@ -200,6 +200,7 @@ class Master:
         ledger=None,
         max_concurrent_jobs: int = DEFAULT_MAX_CONCURRENT_JOBS,
         candidate_queue: Optional[CandidateQueue] = None,
+        adaptive=None,
     ):
         #: Cross-domain credential the master uses for internal data
         #: movement (broadcast-table reads); mirrors SSO's "mapping their
@@ -224,6 +225,10 @@ class Master:
         self._candidate_queue = candidate_queue if candidate_queue is not None else CandidateQueue()
         #: Durable job history replicated to the backup master (§III-C).
         self.ledger = ledger
+        #: Adaptive re-optimization config (S53,
+        #: :class:`repro.planner.adaptive.AdaptiveConfig`); None keeps
+        #: every job on the frozen single-wave path.
+        self.adaptive = adaptive
         self._active: Dict[str, Tuple[Job, Event]] = {}
         self._shut_down = False
         sim.process(self._sweep_loop(), name="master.sweep")
@@ -333,7 +338,7 @@ class Master:
         self._active[job.job_id] = (job, done)
         if self.ledger is not None:
             self.ledger.record_submitted(job.job_id, job.user, job.sql, job.submitted_at)
-        proc = self.sim.process(self._job_process(job, done), name=job.job_id)
+        proc = self.sim.process(self._job_body(job, done), name=job.job_id)
 
         def on_proc_outcome(ev) -> None:
             # Safety net: an uncaught orchestration failure must resolve
@@ -458,6 +463,24 @@ class Master:
 
     # -- job orchestration -------------------------------------------------------
 
+    def _job_body(self, job: Job, done: Event) -> Generator[Event, None, None]:
+        """Pick the execution path: frozen single wave, or adaptive (S53).
+
+        Adaptive runs only for plain full-scan jobs — block sampling and
+        early-return ratios change which rows a job *intends* to read,
+        and the two-wave bookkeeping would misreport them; those jobs
+        keep the frozen path, as does anything below ``min_tasks``.
+        """
+        adaptive = self.adaptive
+        if (
+            adaptive is not None
+            and job.options.sample_block_ratio is None
+            and job.options.min_processed_ratio >= 1.0
+            and len(job.plan.tasks) >= max(1, adaptive.min_tasks)
+        ):
+            return self._job_process_adaptive(job, done)
+        return self._job_process(job, done)
+
     def _job_process(self, job: Job, done: Event) -> Generator[Event, None, None]:
         job.status = JobStatus.RUNNING
         plan = job.plan
@@ -573,6 +596,226 @@ class Master:
             return
         self._finish_ok(job, done, list(arrived.values()), ratio)
 
+    # -- adaptive two-wave orchestration (S53) ----------------------------------
+
+    def _job_process_adaptive(self, job: Job, done: Event) -> Generator[Event, None, None]:
+        """Pilot wave → checkpoint (re-plan) → remainder wave.
+
+        Every pilot result is retained at the master across the
+        checkpoint, so a worker crash mid-job re-runs only the lost
+        partitions of the *current* wave (the supervisor's retry
+        machinery), never completed ones — partition-level recovery.
+        """
+        from repro.planner.adaptive import ReoptController, plan_fingerprint
+
+        job.status = JobStatus.RUNNING
+        plan = job.plan
+        root = job.trace.root if job.trace is not None else None
+        fetch_span = None
+        if root is not None and plan.broadcasts:
+            fetch_span = root.child("fetch_broadcasts", self.sim.now)
+        try:
+            broadcasts = yield from self._fetch_broadcasts(plan, span=fetch_span)
+        except FeisuError as exc:
+            if fetch_span is not None:
+                fetch_span.tag("error", str(exc)).finish(self.sim.now)
+            self._finish_failed(job, done, exc)
+            return
+        if fetch_span is not None:
+            fetch_span.finish(self.sim.now)
+
+        tasks = list(plan.tasks)
+        controller = ReoptController(self.adaptive, plan, self.scheduler.cost_model)
+        job.plan_digest = plan_fingerprint(plan)
+        deadline_at = (
+            self.sim.now + job.options.max_time_s
+            if job.options.max_time_s is not None
+            else None
+        )
+        sent_broadcast_to: Set[str] = set()
+        arrived: Dict[str, TaskResult] = {}
+
+        pilot = controller.pilot_wave(tasks)
+        job.stats.tasks_total = len(pilot)
+        job.stats.adaptive_waves = 1
+        failed = yield from self._run_wave(
+            job, pilot, broadcasts, sent_broadcast_to, arrived, deadline_at=deadline_at
+        )
+        if job.status not in (JobStatus.RUNNING, JobStatus.PENDING):
+            return  # cancelled or failed over mid-wave
+        if failed:
+            self._adaptive_timeout(job, done, arrived)
+            return
+
+        # Checkpoint: compare pilot actuals against the frozen estimates.
+        pilot_durations = {}
+        pilot_ids = {t.task_id for t in pilot}
+        for timing in job.task_timeline:
+            if timing.task_id in pilot_ids and timing.task_id not in pilot_durations:
+                pilot_durations[timing.task_id] = timing.duration_s
+        live_workers = sum(
+            1
+            for leaf in self.scheduler.leaves()
+            if leaf.alive and self.cluster_manager.is_alive(leaf.worker_id)
+        )
+        decision = controller.decide(
+            now=self.sim.now,
+            tasks=tasks,
+            pilot_results=[arrived[t.task_id] for t in pilot],
+            pilot_durations=pilot_durations,
+            live_workers=live_workers,
+            broadcast_holders=tuple(sorted(sent_broadcast_to)),
+            broadcast_bytes=self._broadcast_bytes(broadcasts) if broadcasts else 0,
+        )
+        remainder = controller.remainder_wave(tasks, decision)
+        if decision.replanned:
+            job.stats.adaptive_replans += 1
+            job.replanned_plan_digest = plan_fingerprint(plan, pilot + remainder)
+        job.stats.adaptive_splits += max(
+            0, len(remainder) - (len(tasks) - decision.skipped_tasks)
+        )
+        job.stats.adaptive_tasks_skipped += decision.skipped_tasks
+        if root is not None:
+            root.event(
+                "reopt.decision",
+                self.sim.now,
+                actions=",".join(decision.actions) or "none",
+                estimated_selectivity=decision.estimated_selectivity,
+                observed_selectivity=decision.observed_selectivity,
+                error_ratio=decision.error_ratio,
+                split_factor=decision.split_factor,
+                estimate_scale=decision.estimate_scale,
+                hot_share=decision.hot_share,
+                duration_skew=decision.duration_skew,
+                prefer_workers=len(decision.prefer_workers),
+                skipped_tasks=decision.skipped_tasks,
+            )
+
+        job.stats.tasks_total = len(pilot) + len(remainder)
+        if remainder:
+            job.stats.adaptive_waves += 1
+            failed = yield from self._run_wave(
+                job,
+                remainder,
+                broadcasts,
+                sent_broadcast_to,
+                arrived,
+                prefer=decision.prefer_workers,
+                estimate_scale=decision.estimate_scale,
+                deadline_at=deadline_at,
+            )
+            if job.status not in (JobStatus.RUNNING, JobStatus.PENDING):
+                return
+            if failed:
+                self._adaptive_timeout(job, done, arrived)
+                return
+        self._finish_ok(job, done, list(arrived.values()), 1.0)
+
+    def _run_wave(
+        self,
+        job: Job,
+        wave: List[ScanTask],
+        broadcasts: Dict[str, Frame],
+        sent_broadcast_to: Set[str],
+        arrived: Dict[str, TaskResult],
+        prefer: Sequence[str] = (),
+        estimate_scale: float = 1.0,
+        deadline_at: Optional[float] = None,
+    ) -> Generator[Event, None, Set[str]]:
+        """Launch one adaptive wave and wait for every task to resolve.
+
+        Shares the frozen path's reuse/fallback/supervisor machinery;
+        returns the task ids that failed terminally (empty = complete).
+        """
+        plan = job.plan
+        total = len(wave)
+        completed: Set[str] = set()
+        failed: Set[str] = set()
+        reused: Set[str] = set()
+        gate = self.sim.event(name=f"{job.job_id}.wave")
+
+        def check_done() -> None:
+            if not gate.triggered and len(completed) + len(failed) == total:
+                gate.succeed()
+
+        def on_retry(task: ScanTask) -> None:
+            # A lost attempt re-launched on a surviving leaf: exactly one
+            # partition of the current wave re-runs, nothing else.
+            job.stats.adaptive_partitions_recovered += 1
+
+        def launch_own(task: ScanTask) -> Event:
+            supervisor_done = self.sim.event(name=f"{task.task_id}.done")
+            self.job_manager.track_task(task_signature(plan, task), supervisor_done)
+            self.sim.process(
+                self._task_supervisor(
+                    job, task, broadcasts, sent_broadcast_to, supervisor_done,
+                    estimate_scale=estimate_scale, prefer=prefer, on_retry=on_retry,
+                ),
+                name=task.task_id,
+            )
+            return supervisor_done
+
+        def on_task(task: ScanTask, fallback_allowed: bool = False):
+            def cb(ev: Event) -> None:
+                if gate.triggered:
+                    return
+                if ev.ok:
+                    completed.add(task.task_id)
+                    arrived[task.task_id] = ev.value
+                    job.stats.absorb(ev.value)
+                    if task.task_id in reused:
+                        job.stats.tasks_reused += 1
+                elif fallback_allowed:
+                    reused.discard(task.task_id)
+                    launch_own(task).add_callback(on_task(task))
+                    return
+                else:
+                    failed.add(task.task_id)
+                    job.stats.tasks_failed += 1
+                check_done()
+
+            return cb
+
+        for task in wave:
+            shared = self.job_manager.lookup_task(task_signature(plan, task))
+            if shared is not None:
+                reused.add(task.task_id)
+                shared.add_callback(on_task(task, fallback_allowed=True))
+                continue
+            launch_own(task).add_callback(on_task(task))
+
+        if deadline_at is not None:
+            def deadline() -> None:
+                if not gate.triggered:
+                    gate.succeed()
+
+            self.sim.schedule(max(0.0, deadline_at - self.sim.now), deadline)
+
+        yield gate
+        # A deadline expiry leaves in-flight tasks unresolved: count them
+        # as lost so the caller reports a timeout.
+        if len(completed) + len(failed) < total:
+            failed.update(
+                t.task_id for t in wave
+                if t.task_id not in completed and t.task_id not in failed
+            )
+        return failed
+
+    def _adaptive_timeout(self, job: Job, done: Event, arrived: Dict[str, TaskResult]) -> None:
+        """Terminal path when an adaptive wave lost tasks or timed out."""
+        ratio = len(arrived) / max(1, job.stats.tasks_total)
+        exc = QueryTimeout(
+            f"{job.job_id} processed {ratio:.0%} of data within limits",
+            processed_ratio=ratio,
+        )
+        job.status = JobStatus.TIMED_OUT
+        job.error = exc
+        job.finished_at = self.sim.now
+        job.stats.response_time_s = job.response_time_s
+        self._record_terminal(job)
+        self._job_finished()
+        done.succeed(job)
+
     def _finish_ok(self, job: Job, done: Event, results: List[TaskResult], ratio: float) -> None:
         if job.status not in (JobStatus.RUNNING, JobStatus.PENDING):
             return  # already cancelled / failed over; don't resolve twice
@@ -596,6 +839,19 @@ class Master:
             "tasks_reused": job.stats.tasks_reused,
             "backups_launched": job.stats.backups_launched,
         }
+        if job.stats.adaptive_waves:
+            # Only adaptive-path jobs carry these keys, so the frozen
+            # path's stats dict — and every committed figure derived
+            # from it — stays byte-identical with the flag off.
+            job.result.stats.update(
+                {
+                    "adaptive_waves": job.stats.adaptive_waves,
+                    "adaptive_replans": job.stats.adaptive_replans,
+                    "adaptive_splits": job.stats.adaptive_splits,
+                    "adaptive_partitions_recovered": job.stats.adaptive_partitions_recovered,
+                    "adaptive_tasks_skipped": job.stats.adaptive_tasks_skipped,
+                }
+            )
         job.status = JobStatus.SUCCEEDED
         job.finished_at = self.sim.now
         job.stats.response_time_s = job.response_time_s
@@ -675,6 +931,9 @@ class Master:
         broadcasts: Dict[str, Frame],
         sent_broadcast_to: Set[str],
         done: Event,
+        estimate_scale: float = 1.0,
+        prefer: Sequence[str] = (),
+        on_retry=None,
     ) -> Generator[Event, None, None]:
         attempts: List[Event] = []
         excluded: List[str] = []
@@ -693,16 +952,23 @@ class Master:
                 done.fail(ev._exc)  # noqa: SLF001
                 return
             launched = _launch()
+            if launched and on_retry is not None:
+                on_retry(task)
             if not launched and failures[0] >= len(attempts):
                 done.fail(ev._exc)  # noqa: SLF001
 
         def _launch() -> bool:
             try:
-                placement = self.scheduler.place(task, job.plan.scan_cnf, exclude=excluded)
+                placement = self.scheduler.place(
+                    task, job.plan.scan_cnf, exclude=excluded, prefer=prefer
+                )
             except SchedulingError:
                 return False
             excluded.append(placement.leaf.worker_id)
-            estimates.append(placement.estimate_s)
+            # ``estimate_scale`` folds the adaptive checkpoint's cost
+            # revision into backup deadlines (slices are cheaper than the
+            # whole-block figure the cost model prices).
+            estimates.append(placement.estimate_s * estimate_scale)
             launch_times.append(self.sim.now)
             proc = self.sim.process(
                 self._task_flow(

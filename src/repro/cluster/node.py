@@ -283,7 +283,7 @@ class LeafServer:
         try:
             payload = system.read(inner)
             block = Block.from_bytes(payload)
-            if self.config.enable_fused_pipelines:
+            if self.config.enable_fused_pipelines and task.row_slice is None:
                 from repro.engine.pipeline import execute_fused_scan_task
 
                 result = execute_fused_scan_task(

@@ -112,8 +112,15 @@ class JobScheduler:
         task: ScanTask,
         cnf: ConjunctiveForm,
         exclude: Sequence[str] = (),
+        prefer: Sequence[str] = (),
     ) -> Placement:
-        """Choose a leaf for ``task`` per the §III-B policy."""
+        """Choose a leaf for ``task`` per the §III-B policy.
+
+        ``prefer`` narrows the candidate pool to those workers when any
+        of them is alive — the adaptive re-optimizer uses it to colocate
+        remainder tasks with leaves that already hold the broadcast
+        frames, avoiding a second dimension-table ship.
+        """
         alive = [
             leaf
             for leaf in self._leaves.values()
@@ -121,6 +128,10 @@ class JobScheduler:
             and self.cluster_manager.is_alive(leaf.worker_id)
             and leaf.worker_id not in exclude
         ]
+        if prefer:
+            preferred = [leaf for leaf in alive if leaf.worker_id in prefer]
+            if preferred:
+                alive = preferred
         if not alive:
             raise SchedulingError(f"no live leaf available for task {task.task_id}")
         if not self.locality_aware:

@@ -65,6 +65,13 @@ class FeisuConfig:
     #: :class:`repro.gateway.GatewayConfig` to serve sessions through
     #: admission control and fair-share scheduling.
     gateway: Optional["object"] = None
+    #: Adaptive mid-query re-optimization (S53).  ``None`` (the default)
+    #: keeps every job on the frozen single-wave plan so committed
+    #: figure results stay byte-identical; set a
+    #: :class:`repro.planner.adaptive.AdaptiveConfig` to enable pilot
+    #: waves, checkpoint re-planning, skew splitting and partition-level
+    #: recovery.
+    adaptive: Optional["object"] = None
 
     def topology(self) -> TopologySpec:
         return TopologySpec(self.datacenters, self.racks_per_datacenter, self.nodes_per_rack)
@@ -239,6 +246,7 @@ class FeisuCluster:
             ),
             ledger=self.job_ledger,
             max_concurrent_jobs=self.config.max_concurrent_jobs,
+            adaptive=self.config.adaptive,
         )
 
     def fail_master(self) -> int:

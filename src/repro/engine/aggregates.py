@@ -246,6 +246,18 @@ class GroupedPartial:
         return 64 + per_group * len(self.groups)
 
 
+#: The one NaN used in every group-key tuple.  ``nan != nan``, but tuple
+#: equality (and dict hashing in Python ≥3.10) short-circuits on object
+#: identity — so distinct NaN floats produced by different tasks would
+#: never merge into one group, while a single shared object always does.
+_NAN_KEY = float("nan")
+
+
+def _canonical_key_values(values: List) -> List:
+    """Replace every NaN key component with the shared ``_NAN_KEY``."""
+    return [_NAN_KEY if isinstance(v, float) and v != v else v for v in values]
+
+
 def _group_order(key_arrays: Sequence[np.ndarray], num_rows: int):
     """One stable sort bringing equal key tuples together.
 
@@ -378,7 +390,7 @@ def partial_aggregate(
         columns.append(_state_column(func, arr, sorted_arr, starts, counts))
     # Group-key tuples, converted to Python scalars in one pass per column.
     reps = order[starts]
-    key_cols = [col[reps].tolist() for col in key_arrays]
+    key_cols = [_canonical_key_values(col[reps].tolist()) for col in key_arrays]
     if key_cols:
         keys = zip(*key_cols)
     else:

@@ -173,9 +173,20 @@ def execute_scan_task(
     ``span`` is the attempt's :class:`~repro.obs.trace.Span` (or None);
     the index probe is recorded as a child and the row counts as tags.
     """
+    row_slice = task.row_slice
+    if row_slice is not None:
+        # Adaptive sub-task (S53): cover only rows [lo, hi) of the block.
+        # The SmartIndex and B+ trees are whole-block structures — a mask
+        # computed on a slice must neither consult nor feed them, or a
+        # partial answer would be reused for a full-block probe.
+        index_manager = None
+        btree_provider = None
+        lo = max(0, min(int(row_slice[0]), block.num_rows))
+        hi = max(lo, min(int(row_slice[1]), block.num_rows))
+        slice_rows = hi - lo
     report = TaskExecutionReport(
         task_id=task.task_id,
-        rows_in_block=block.num_rows,
+        rows_in_block=block.num_rows if row_slice is None else slice_rows,
         scale_factor=block.scale_factor,
     )
     cnf = plan.scan_cnf
@@ -198,11 +209,21 @@ def execute_scan_task(
                 )
                 report.io_bytes += io_bytes
                 report.cpu_ops += decode_ops
+            elif row_slice is not None:
+                # Proportional charge: a slice reads its fraction of every
+                # chunk, so summed sub-task costs equal the whole block's.
+                fraction = slice_rows / max(1, block.num_rows)
+                report.io_bytes += int(round(block.column_bytes(read_columns) * fraction))
+                report.cpu_ops += OPS_PER_DECODE * slice_rows * len(read_columns)
             else:
                 report.io_bytes += block.column_bytes(read_columns)
                 report.cpu_ops += OPS_PER_DECODE * block.num_rows * len(read_columns)
             report.io_seeks += 1
-        frame = scan_block(block, read_columns) if read_columns else Frame({}, block.num_rows)
+        frame = scan_block(block, read_columns) if read_columns else Frame(
+            {}, block.num_rows if row_slice is None else slice_rows
+        )
+        if row_slice is not None and frame.columns:
+            frame = Frame({n: v[lo:hi] for n, v in frame.columns.items()}, slice_rows)
         if missing:
             mask = _evaluate_missing(missing, frame, mask, index_manager, task, now, report)
         if residuals:

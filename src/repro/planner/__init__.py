@@ -8,6 +8,12 @@ from repro.planner.cnf import (
     to_cnf,
     to_nnf,
 )
+from repro.planner.adaptive import (
+    AdaptiveConfig,
+    ReoptController,
+    ReoptDecision,
+    plan_fingerprint,
+)
 from repro.planner.cost import CostModel
 from repro.planner.explain import explain
 from repro.planner.selectivity import (
@@ -32,8 +38,12 @@ from repro.planner.physical import (
 )
 
 __all__ = [
+    "AdaptiveConfig",
     "AtomicPredicate",
     "BroadcastTable",
+    "ReoptController",
+    "ReoptDecision",
+    "plan_fingerprint",
     "Clause",
     "ConjunctiveForm",
     "CostModel",

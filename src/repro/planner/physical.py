@@ -49,6 +49,13 @@ class ScanTask:
     block: BlockRef
     #: Columns this task must read (projection pushdown).
     columns: Tuple[str, ...]
+    #: Half-open row range ``[lo, hi)`` of the block this task covers.
+    #: ``None`` (the default, and the only value the static planner ever
+    #: produces) means the whole block.  The adaptive re-optimizer (S53)
+    #: slices tasks for pilot waves and hot-partition splits; a sliced
+    #: task charges I/O and CPU proportionally and never touches the
+    #: SmartIndex (a partial-block mask would poison full-block answers).
+    row_slice: Optional[Tuple[int, int]] = None
 
 
 @dataclass(frozen=True)

@@ -19,6 +19,8 @@ from repro.workload.generator import (
     WorkloadConfig,
     WorkloadGenerator,
     scan_query_stream,
+    skewed_join_dataset,
+    skewed_join_queries,
 )
 from repro.workload.conversion import ConversionDaemon, start_conversion_daemons, write_raw_records
 from repro.workload.loggen import LogIngestor, generate_log_records
@@ -43,6 +45,8 @@ __all__ = [
     "same_predicate_ratio_by_span",
     "scan_query_share",
     "scan_query_stream",
+    "skewed_join_dataset",
+    "skewed_join_queries",
     "start_conversion_daemons",
     "write_raw_records",
     "synthesize",

@@ -328,3 +328,76 @@ def scan_query_stream(
             )
         queries.append(sql)
     return queries
+
+
+# -- skewed-join misestimate workload (S53) -----------------------------------
+
+
+def skewed_join_dataset(
+    rows: int,
+    seed: int = 0,
+    hot_share: float = 0.5,
+    num_groups: int = 8,
+    match_share: float = 0.6,
+) -> "Tuple[Dict[str, object], Dict[str, object]]":
+    """Fact/dimension columns engineered to defeat the static planner.
+
+    Returns ``(fact, dim)`` column dicts for a fact table with a Zipf-like
+    hot join key (``hot_share`` of all rows land on key 0, the rest spread
+    uniformly — the skew that makes one partition a straggler) and a
+    ``note`` string column where ``match_share`` of rows contain the
+    needle ``'hit'``.  The planner's CONTAINS default selectivity is far
+    below ``match_share``, so the estimate/observation gap reliably
+    crosses the adaptive re-optimizer's trigger.
+    """
+    import numpy as np
+
+    rng = np.random.default_rng(seed)
+    n_hot = int(rows * hot_share)
+    keys = np.concatenate(
+        [
+            np.zeros(n_hot, dtype=np.int64),
+            rng.integers(1, max(2, num_groups), rows - n_hot),
+        ]
+    )
+    rng.shuffle(keys)
+    hit = rng.random(rows) < match_share
+    notes = np.array(
+        ["hit-entry" if h else "cold-entry" for h in hit], dtype=object
+    )
+    fact = {
+        "k": keys,
+        "v": rng.random(rows),
+        "w": rng.integers(0, 1000, rows),
+        "note": notes,
+    }
+    dim = {
+        "k": np.arange(num_groups, dtype=np.int64),
+        "label": np.array([f"g{i}" for i in range(num_groups)], dtype=object),
+    }
+    return fact, dim
+
+
+def skewed_join_queries(count: int, seed: int = 0) -> List[str]:
+    """Distinct misestimate-prone join/group-by queries over the
+    :func:`skewed_join_dataset` tables ``T`` (fact) and ``D`` (dim).
+
+    Every query keeps the ``note CONTAINS 'hit'`` misestimate lever and a
+    join on the skewed key; the varying aggregate/extra-predicate mix
+    makes each query plan distinct so no two share a SmartIndex entry.
+    """
+    rng = random.Random(seed)
+    aggs = ["SUM(T.v)", "COUNT(*)", "MIN(T.v)", "MAX(T.v)", "AVG(T.v)", "SUM(T.w)"]
+    queries: List[str] = []
+    for i in range(count):
+        agg = aggs[i % len(aggs)]
+        extra = ""
+        if rng.random() < 0.5:
+            extra = f" AND (T.w {rng.choice(_NUM_OPS)} {rng.randint(50, 950)})"
+        queries.append(
+            f"SELECT D.label AS g, COUNT(*) AS n, {agg} AS a "
+            f"FROM T JOIN D ON T.k = D.k "
+            f"WHERE (T.note CONTAINS 'hit'){extra} "
+            f"GROUP BY D.label ORDER BY g"
+        )
+    return queries

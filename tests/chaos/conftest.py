@@ -40,6 +40,8 @@ def build_cluster(
     data_seed: int = 7,
     leaf=None,
     gateway=None,
+    adaptive=None,
+    scale_factor=None,
 ):
     """A fresh wired cluster with known contents (fact T, dimension D)."""
     config = FeisuConfig(
@@ -47,6 +49,7 @@ def build_cluster(
         racks_per_datacenter=2,
         nodes_per_rack=nodes_per_rack,
         gateway=gateway,
+        adaptive=adaptive,
     )
     if leaf is not None:
         config.leaf = leaf
@@ -66,6 +69,7 @@ def build_cluster(
         columns,
         storage="storage-a",
         block_rows=block_rows,
+        scale_factor=scale_factor,
         node=NodeAddress(0, 1, 1),
     )
     dim = {

@@ -1,0 +1,197 @@
+"""Chaos scenarios for the adaptive re-optimizer (S53).
+
+Three seeded fault scenarios drive the pilot-wave / checkpoint /
+remainder-wave machinery through its failure windows:
+
+1. a worker crash *spanning the re-plan decision point* — retained pilot
+   output at the master must survive the crash and no pilot partition
+   may re-run;
+2. a permanent crash of a worker holding retained stage output while it
+   executes remainder tasks — recovery must be *partition-level* (only
+   the lost in-flight partitions re-run, proven by attempt counts with
+   backups disabled), never a full relaunch;
+3. a SlowNode straggler during the pilot wave — duration skew at the
+   checkpoint must trigger a skew-split of the remainder.
+
+Timing windows come from a fault-free *probe twin* run first under the
+same seed: the simulation is deterministic, so the probe's task timeline
+tells us exactly when the pilot wave ends and which workers hold what.
+Invariant assertions hold for any seed; exact outcome pins are guarded
+by ``seed == DEFAULT_SEED``; every scenario replays bit-for-bit via
+``CHAOS_SEED=<seed>``.
+"""
+
+import pytest
+
+from repro.cluster.jobs import JobOptions, JobStatus
+from repro.faults import CrashWindow, FaultPlan, SlowNode
+from repro.planner.adaptive import AdaptiveConfig
+
+from tests.chaos.conftest import DEFAULT_SEED, make_harness
+
+pytestmark = pytest.mark.chaos
+
+#: Chaos blocks are small (500 rows; pilot slices 256), so the split
+#: floor must come down for a skew-split to produce sub-tasks at all.
+ADAPTIVE = AdaptiveConfig(min_split_rows=64)
+
+#: Modeled-bytes multiplier for the fact table: with the default factor
+#: of 1 every pilot slice is dispatch-latency-bound and a slowed device
+#: is invisible; at 500x device time dominates, so SlowNode stragglers
+#: actually show up in the pilot durations the checkpoint inspects.
+SCALE_FACTOR = 500
+
+
+def _adaptive_harness(seed: int):
+    return make_harness(seed, adaptive=ADAPTIVE, scale_factor=SCALE_FACTOR)
+
+
+def _pilot_entries(job):
+    return [t for t in job.task_timeline if t.task_id.endswith(".p")]
+
+
+def _wave2_entries(job):
+    return [t for t in job.task_timeline if not t.task_id.endswith(".p")]
+
+
+def _assert_no_pilot_reruns(job):
+    """Partition-level recovery: every completed pilot partition ran
+    exactly once — its retained output at the master survived the fault."""
+    pilot = _pilot_entries(job)
+    pilot_ids = [t.task_id for t in pilot]
+    assert len(pilot_ids) == len(set(pilot_ids)), "a completed pilot partition re-ran"
+
+
+def test_crash_spanning_replan_decision(seed):
+    """A worker dies just before the checkpoint and returns after it:
+    the decision sees fewer live workers, the dead worker's retained
+    pilot output is still used, and no pilot partition re-runs."""
+    probe = _adaptive_harness(seed)
+    probe_job = probe.run(probe.Q_GROUP)
+    assert probe_job.status is JobStatus.SUCCEEDED, probe_job.error
+    pilot = _pilot_entries(probe_job)
+    assert pilot, "adaptive pilot wave did not run"
+    pilot_end = max(t.finished_at for t in pilot)
+    first_done = min(pilot, key=lambda t: t.finished_at)
+    victim = first_done.worker_id
+    # Crash after the victim's own pilot partition completed, in a window
+    # that straddles the decision point at ~pilot_end.
+    crash_at = (first_done.finished_at + pilot_end) / 2.0
+
+    harness = _adaptive_harness(seed)
+    harness.install(
+        FaultPlan().add(CrashWindow(worker=victim, at=crash_at, restart_after=3.0))
+    )
+    job = harness.run(harness.Q_GROUP)
+    assert job.status is JobStatus.SUCCEEDED, job.error
+    assert job.stats.adaptive_waves == 2
+    _assert_no_pilot_reruns(job)
+    if seed == DEFAULT_SEED:
+        assert len(_pilot_entries(job)) == 10  # one pilot slice per block
+        assert [r.kind for r in harness.injector.records][:1] == ["crash"]
+    harness.finish("adaptive_crash_spanning_replan_decision")
+
+
+def test_crash_spanning_replan_decision_replays_exactly(seed):
+    """The same seed must reproduce the identical event sequence: two
+    independent runs of the scenario agree on every task attempt."""
+    timelines = []
+    rows = []
+    for _ in range(2):
+        probe = _adaptive_harness(seed)
+        probe_job = probe.run(probe.Q_GROUP)
+        pilot = _pilot_entries(probe_job)
+        pilot_end = max(t.finished_at for t in pilot)
+        first_done = min(pilot, key=lambda t: t.finished_at)
+        harness = _adaptive_harness(seed)
+        harness.install(
+            FaultPlan().add(
+                CrashWindow(
+                    worker=first_done.worker_id,
+                    at=(first_done.finished_at + pilot_end) / 2.0,
+                    restart_after=3.0,
+                )
+            )
+        )
+        job = harness.run(harness.Q_GROUP)
+        assert job.status is JobStatus.SUCCEEDED, job.error
+        # Plan ids are process-global counters; strip them so the two
+        # runs compare structurally.
+        timelines.append(
+            [
+                (t.task_id.split("/", 1)[-1], t.worker_id, t.started_at, t.finished_at)
+                for t in job.task_timeline
+            ]
+        )
+        rows.append(job.result.rows())
+    assert timelines[0] == timelines[1]
+    assert rows[0] == rows[1]
+
+
+def test_crash_of_retained_output_holder_rerunss_only_lost_partitions(seed):
+    """A worker that completed pilot partitions dies for good while
+    running remainder tasks.  With backups off, attempt counts prove the
+    recovery is partition-level: completed partitions (pilot and wave-2)
+    are never re-run; only the victim's in-flight partitions retry on
+    survivors, counted by ``adaptive_partitions_recovered``."""
+    options = JobOptions(enable_backup=False)
+    probe = _adaptive_harness(seed)
+    probe_job = probe.run(probe.Q_GROUP, options=options)
+    assert probe_job.status is JobStatus.SUCCEEDED, probe_job.error
+    pilot_workers = {t.worker_id for t in _pilot_entries(probe_job)}
+    wave2 = _wave2_entries(probe_job)
+    assert wave2, "no remainder wave in probe run"
+    by_worker = {}
+    for t in wave2:
+        if t.worker_id in pilot_workers:
+            by_worker.setdefault(t.worker_id, []).append(t)
+    assert by_worker, "no worker holds both pilot output and wave-2 tasks"
+    # The victim holds retained pilot output AND the most wave-2 work.
+    victim = max(by_worker, key=lambda w: (len(by_worker[w]), w))
+    first = min(t.started_at for t in by_worker[victim])
+    last = max(t.finished_at for t in by_worker[victim])
+    crash_at = (first + last) / 2.0  # mid-flight: some done, some running
+
+    harness = _adaptive_harness(seed)
+    harness.install(FaultPlan().add(CrashWindow(worker=victim, at=crash_at)))
+    job = harness.run(harness.Q_GROUP, options=options)
+    assert job.status is JobStatus.SUCCEEDED, job.error
+    assert job.stats.adaptive_waves == 2
+    # With the watchdog off, every extra attempt is a crash-recovery
+    # retry of a lost partition — not a speculative backup.
+    assert job.stats.backups_launched == job.stats.adaptive_partitions_recovered
+    _assert_no_pilot_reruns(job)
+    # Every scheduled partition reported exactly one completed attempt —
+    # a full relaunch would duplicate task ids in the timeline.
+    attempt_ids = [t.task_id for t in job.task_timeline]
+    assert len(attempt_ids) == len(set(attempt_ids))
+    assert len(attempt_ids) == job.stats.tasks_total
+    if seed == DEFAULT_SEED:
+        assert job.stats.adaptive_partitions_recovered >= 1
+        # Only the victim's lost in-flight partitions retried, bounded by
+        # the work it was assigned in the fault-free twin.
+        assert job.stats.adaptive_partitions_recovered <= len(by_worker[victim])
+    harness.finish("adaptive_crash_retained_output_holder")
+
+
+def test_slow_node_triggers_skew_split(seed):
+    """A consolidated-container straggler slows one pilot partition by
+    12x: the checkpoint's duration-skew detector must split the remainder
+    across survivors instead of letting the straggler gate the query."""
+    probe = _adaptive_harness(seed)
+    probe_job = probe.run(probe.Q_GROUP)
+    straggler = _pilot_entries(probe_job)[0].worker_id
+    clean_splits = probe_job.stats.adaptive_splits
+
+    harness = _adaptive_harness(seed)
+    harness.install(
+        FaultPlan().add(SlowNode(worker=straggler, at=0.0, duration=600.0, factor=12.0))
+    )
+    job = harness.run(harness.Q_GROUP)
+    assert job.status is JobStatus.SUCCEEDED, job.error
+    assert job.stats.adaptive_waves == 2
+    if seed == DEFAULT_SEED:
+        assert clean_splits == 0  # uniform data: no split without the fault
+        assert job.stats.adaptive_splits > 0
+        assert job.stats.adaptive_replans >= 1
+    harness.finish("adaptive_slow_node_skew_split")

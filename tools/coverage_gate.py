@@ -1,13 +1,13 @@
 #!/usr/bin/env python
-"""Dependency-free line-coverage gate for the cluster, engine, fault, gateway, index and storage layers.
+"""Dependency-free line-coverage gate for the cluster, engine, fault, gateway, index, planner and storage layers.
 
 The container has no ``coverage``/``pytest-cov``, so this implements the
 minimum honestly: a ``sys.settrace`` hook records executed lines in
 ``repro.cluster``, ``repro.engine``, ``repro.faults``, ``repro.gateway``,
-``repro.index`` and ``repro.storage`` while the focused test
-suites run in-process, the denominator comes from each module's compiled
-``co_lines()`` tables, and the gate fails if combined coverage drops
-below the floor.
+``repro.index``, ``repro.planner`` and ``repro.storage`` while the
+focused test suites run in-process, the denominator comes from each
+module's compiled ``co_lines()`` tables, and the gate fails if combined
+coverage drops below the floor.
 
 Run from the repo root (the verify flow does):
 
@@ -34,6 +34,7 @@ TARGET_DIRS = (
     os.path.join(SRC, "repro", "faults") + os.sep,
     os.path.join(SRC, "repro", "gateway") + os.sep,
     os.path.join(SRC, "repro", "index") + os.sep,
+    os.path.join(SRC, "repro", "planner") + os.sep,
     os.path.join(SRC, "repro", "storage") + os.sep,
 )
 
@@ -53,6 +54,7 @@ TEST_ARGS = [
     "tests/test_engine_operators.py",
     "tests/test_engine_pipeline.py",
     "tests/test_engine_serialize.py",
+    "tests/test_adaptive_differential.py",
     "tests/test_gateway.py",
     "tests/test_gateway_differential.py",
     "tests/test_integration_differential.py",
@@ -165,7 +167,7 @@ def main():
         if args.report and missed:
             print(f"{'':<{width}}  missed: {_ranges(missed)}")
     overall = total_hit / total_exec if total_exec else 1.0
-    print(f"\nTOTAL repro.cluster + repro.engine + repro.faults + repro.gateway + repro.index + repro.storage: {100.0 * overall:.1f}% "
+    print(f"\nTOTAL repro.cluster + repro.engine + repro.faults + repro.gateway + repro.index + repro.planner + repro.storage: {100.0 * overall:.1f}% "
           f"({total_hit}/{total_exec} lines), floor {100.0 * args.floor:.4g}%")
     if args.report:
         return 0
