@@ -1,0 +1,87 @@
+"""Run the Trojan-replica ablation bench and gate on ``BENCH_layouts.json``.
+
+Usage (from the repo root)::
+
+    PYTHONPATH=src python benchmarks/run_layouts.py            # compare
+    PYTHONPATH=src python benchmarks/run_layouts.py --update   # re-baseline
+
+Without ``--update`` the run fails (exit 1) when the S54 acceptance bar
+does not hold (identical rows on both twins, replicas actually rewritten
+and routed to, mean simulated latency cut by >= 25%, scheduler byte-size
+memo effective) or when the improvement drifts past the committed
+baseline.  The same gate runs under pytest via
+``pytest -m layoutbench benchmarks``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+from layouts_bench import acceptance_failures, regressions, run_suite  # noqa: E402
+
+BASELINE_PATH = os.path.join(os.path.dirname(__file__), "BENCH_layouts.json")
+
+
+def format_results(results) -> str:
+    r = results["layout_ablation"]
+    m = results["placement_memo"]
+    lines = [
+        f"layout ablation: {r['queries']:.0f} predicate/join-heavy queries, "
+        f"{r['replica_rewrites']:.0f} replica rewrites, "
+        f"{r['variant_reads']:.0f} variant reads in the measured pass",
+        f"  base   mean latency {r['base_mean_latency_s']:8.4f} s (simulated)",
+        f"  layout mean latency {r['layout_mean_latency_s']:8.4f} s (simulated)",
+        f"  improvement: mean {r['mean_improvement']:.1%}   "
+        f"worst query {r['min_improvement']:.1%}",
+        f"  rows identical on every query: "
+        f"{'yes' if r['rows_identical'] == 1.0 else 'NO'}",
+        f"placement byte-size memo: {m['bytes_cache_hits']:.0f} hits / "
+        f"{m['bytes_cache_misses']:.0f} misses, "
+        f"micro speedup {m['memo_micro_speedup']:.1f}x (wall-clock)",
+    ]
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite the committed baseline from this run")
+    parser.add_argument("--baseline", default=BASELINE_PATH,
+                        help="baseline JSON path")
+    args = parser.parse_args(argv)
+
+    results = run_suite()
+    print(format_results(results))
+
+    problems = acceptance_failures(results)
+    if args.update:
+        with open(args.baseline, "w") as fh:
+            json.dump({"schema_version": 1, "runs": results}, fh, indent=2,
+                      sort_keys=True)
+            fh.write("\n")
+        print(f"\nbaseline written to {args.baseline}")
+    else:
+        if not os.path.exists(args.baseline):
+            print(f"\nno baseline at {args.baseline}; run with --update first")
+            return 1
+        with open(args.baseline) as fh:
+            baseline = json.load(fh)["runs"]
+        problems.extend(regressions(results, baseline))
+
+    if problems:
+        print("\nFAIL:")
+        for p in problems:
+            print(f"  - {p}")
+        return 1
+    print("\nOK: Trojan replicas beat byte-identical replicas without "
+          "changing answers")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,58 @@
+"""Trojan-replica ablation gate (S54).
+
+Opt-in gate: ``pytest -m layoutbench benchmarks``.  Runs the
+predicate/join-heavy workload on base vs. ``enable_layouts`` twins and
+asserts (a) the S54 acceptance bar — identical rows, replicas rewritten
+and routed to, mean simulated latency cut by >= 25%, effective placement
+byte-size memo — and (b) no improvement drift past the committed
+``BENCH_layouts.json`` baseline.  Mirrors the adaptivebench gate.
+"""
+
+import json
+import os
+import sys
+
+import pytest
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+import layouts_bench as _lb  # noqa: E402
+
+BASELINE = os.path.join(os.path.dirname(__file__), "BENCH_layouts.json")
+
+
+@pytest.fixture(scope="module")
+def layout_results():
+    return _lb.run_suite()
+
+
+@pytest.mark.layoutbench
+def test_layouts_acceptance(layout_results):
+    assert _lb.acceptance_failures(layout_results) == []
+
+
+@pytest.mark.layoutbench
+def test_layouts_baseline_regression(layout_results):
+    assert os.path.exists(BASELINE), (
+        "no committed baseline; run run_layouts.py --update"
+    )
+    with open(BASELINE) as fh:
+        baseline = json.load(fh)["runs"]
+    assert _lb.regressions(layout_results, baseline) == []
+
+
+@pytest.mark.layoutbench
+def test_layouts_baseline_schema():
+    with open(BASELINE) as fh:
+        doc = json.load(fh)
+    assert doc["schema_version"] == 1
+    runs = doc["runs"]
+    assert set(runs) == {"layout_ablation", "placement_memo"}
+    r = runs["layout_ablation"]
+    assert r["queries"] == _lb.NUM_QUERIES
+    assert r["rows_identical"] == 1.0
+    assert r["replica_rewrites"] >= 1.0
+    assert r["variant_reads"] >= 1.0
+    assert r["mean_improvement"] >= _lb.MIN_MEAN_IMPROVEMENT
+    m = runs["placement_memo"]
+    assert m["bytes_cache_hits"] > m["bytes_cache_misses"]

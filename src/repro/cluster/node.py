@@ -59,6 +59,11 @@ class LeafConfig:
     #: cold→hot block promotion, scheduler placement hints.  Off by
     #: default: the committed paper figures use static placement.
     enable_tiering: bool = False
+    #: Per-replica heterogeneous physical layouts (S54): "Trojan"
+    #: replicas rewritten by the LayoutDaemon, layout-aware routing and
+    #: cheaper variant I/O charges.  Off by default: the committed paper
+    #: figures use byte-identical replicas.
+    enable_layouts: bool = False
     #: Fused morsel-parallel scan pipelines (S51): one pass per block,
     #: lazy selection, real worker threads for wall-clock.  Off by
     #: default — results and simulated charges are byte-identical either
@@ -103,6 +108,9 @@ class LeafServer:
         #: Tiering hook (:class:`repro.storage.tiering.TieringDaemon`);
         #: None keeps reads on the catalog path with no heat recording.
         self.tiering = None
+        #: Layout hook (:class:`repro.storage.layouts.LayoutDaemon`);
+        #: None keeps every read on the base replica payload.
+        self.layouts = None
 
         self.disk = Disk(sim, name=f"{worker_id}.disk")
         self.ssd = Ssd(sim, name=f"{worker_id}.ssd")
@@ -231,9 +239,15 @@ class LeafServer:
 
     # -- B+ tree baseline ---------------------------------------------------
 
-    def _btree_provider(self, block: Block):
+    def _btree_provider(self, block: Block, tag: str = "", only_column: Optional[str] = None):
+        """``tag`` namespaces the cache per physical layout (a variant's
+        row order invalidates base-order trees, S54); ``only_column``
+        restricts the provider to a variant's *attached* index column."""
+
         def provider(block_id: str, column: str) -> Optional[BPlusTree]:
-            key = (block_id, column)
+            if only_column is not None and column != only_column:
+                return None
+            key = (block_id + tag, column)
             tree = self._btrees.get(key)
             if tree is None:
                 if column not in block.chunks:
@@ -281,9 +295,23 @@ class LeafServer:
         self.queued_tasks -= 1
         self.running_tasks += 1
         try:
-            payload = system.read(inner)
+            layout = None
+            if self.layouts is not None and task.row_slice is None:
+                # Trojan replicas (S54): the read is served by this node's
+                # own replica when it holds one (else the nearest), and
+                # that replica may carry a rewritten physical variant.
+                serving = self.layouts.serving_replica(system, inner, self.address)
+                payload, layout = self.layouts.payload_for(
+                    system, inner, serving, task.columns
+                )
+            else:
+                payload = system.read(inner)
             block = Block.from_bytes(payload)
-            if self.config.enable_fused_pipelines and task.row_slice is None:
+            if (
+                self.config.enable_fused_pipelines
+                and task.row_slice is None
+                and layout is None
+            ):
                 from repro.engine.pipeline import execute_fused_scan_task
 
                 result = execute_fused_scan_task(
@@ -301,17 +329,55 @@ class LeafServer:
                     morsel_rows=self.config.morsel_rows,
                 )
             else:
-                result = execute_scan_task(
-                    task,
-                    plan,
-                    block,
-                    broadcast_frames,
-                    index_manager=self.index_manager,
-                    btree_provider=self._btree_provider(block) if self.config.enable_btree else None,
-                    now=self.sim.now,
-                    span=span,
-                )
+                if layout is not None:
+                    # Variant row order invalidates whole-block SmartIndex
+                    # bitvectors (keyed by block_id on *base* order) — same
+                    # rule adaptive row slices follow.  The variant's own
+                    # attached B+ tree is served under a layout-tagged key.
+                    btree_provider = (
+                        self._btree_provider(
+                            block,
+                            tag="#" + layout.describe(),
+                            only_column=layout.index_column,
+                        )
+                        if layout.index_column is not None
+                        else None
+                    )
+                    result = execute_scan_task(
+                        task,
+                        plan,
+                        block,
+                        broadcast_frames,
+                        index_manager=None,
+                        btree_provider=btree_provider,
+                        now=self.sim.now,
+                        span=span,
+                        layout=layout,
+                    )
+                else:
+                    result = execute_scan_task(
+                        task,
+                        plan,
+                        block,
+                        broadcast_frames,
+                        index_manager=self.index_manager,
+                        btree_provider=self._btree_provider(block) if self.config.enable_btree else None,
+                        now=self.sim.now,
+                        span=span,
+                    )
             report = result.report
+            if self.layouts is not None:
+                from repro.storage.layouts import base_join_columns
+
+                self.layouts.record_scan(
+                    task.block.path,
+                    plan.scan_cnf,
+                    task.columns,
+                    join_columns=base_join_columns(plan),
+                    reader=self.address,
+                    nbytes=int(report.modeled_io_bytes),
+                    now=self.sim.now,
+                )
 
             if report.io_bytes > 0:
                 scan_span = span.child("scan", self.sim.now) if span is not None else None
@@ -319,6 +385,10 @@ class LeafServer:
                 if scan_span is not None:
                     if self.tiering is not None:
                         scan_span.tag("tier", self.tiering.tier_of(task.block.path))
+                    if self.layouts is not None:
+                        scan_span.tag(
+                            "layout", layout.describe() if layout is not None else "base"
+                        )
                     scan_span.tag("io_bytes_modeled", report.modeled_io_bytes)
                     scan_span.tag("seeks", report.io_seeks)
                     scan_span.tag("rows_in", report.rows_in_block)
@@ -350,6 +420,10 @@ class LeafServer:
                 ).tag("rows_out", report.rows_matched)
                 if self.tiering is not None:
                     covered_span.tag("tier", self.tiering.tier_of(task.block.path))
+                if self.layouts is not None:
+                    covered_span.tag(
+                        "layout", layout.describe() if layout is not None else "base"
+                    )
                 if report.fused:
                     covered_span.tag("fused", True)
                     covered_span.tag("morsels", report.morsels)

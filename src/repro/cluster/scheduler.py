@@ -66,6 +66,18 @@ class JobScheduler:
         #: Tiering hook (:class:`repro.storage.tiering.TieringDaemon`);
         #: when set, placement follows the promoted replica set.
         self.tiering = None
+        #: Layout hook (:class:`repro.storage.layouts.LayoutDaemon`);
+        #: when set, candidate replicas are scored by the layout each one
+        #: serves (sorted → range pruning, subset → smaller read,
+        #: attached index → covered probe) instead of load pressure alone.
+        self.layouts = None
+        #: Memoized per-(block, columns) modeled byte sizes (S54
+        #: satellite): ``BlockRef.bytes_for`` rebuilds a dict from the
+        #: column-size tuple on every call, and placement used to pay
+        #: that for every candidate of every task.
+        self._task_bytes_cache: Dict[tuple, float] = {}
+        self.task_bytes_hits = 0
+        self.task_bytes_misses = 0
         self._leaves: Dict[str, LeafServer] = {}
         #: Address → leaf map; ``leaf_at`` used to scan every leaf per
         #: call, O(n) on the result-return path of every task.
@@ -97,6 +109,21 @@ class JobScheduler:
 
     def leaf_at(self, address: NodeAddress) -> Optional[LeafServer]:
         return self._by_address.get(address)
+
+    def _task_bytes(self, task: ScanTask) -> float:
+        """Modeled bytes a scan of ``task.columns`` reads from the catalog
+        block, memoized per (block, column-set)."""
+        # Encoded size in the key guards against a table reloaded under
+        # the same block ids with different data.
+        key = (task.block.block_id, task.block.encoded_bytes, task.columns)
+        cached = self._task_bytes_cache.get(key)
+        if cached is not None:
+            self.task_bytes_hits += 1
+            return cached
+        self.task_bytes_misses += 1
+        nbytes = task.block.bytes_for(task.columns) * task.block.scale_factor
+        self._task_bytes_cache[key] = nbytes
+        return nbytes
 
     def _effective_path(self, task: ScanTask) -> str:
         """The path the leaf will actually read — promoted hot copy when
@@ -147,17 +174,39 @@ class JobScheduler:
         replica_addrs = set(system.locations(inner))
         local_candidates = [leaf for leaf in alive if leaf.address in replica_addrs]
         if local_candidates:
-            leaf = min(local_candidates, key=lambda lf: lf.load_snapshot().pressure)
+            if self.layouts is not None:
+                # Trojan replicas (S54): holders are not interchangeable —
+                # score each by the layout its copy serves, load-broken.
+                leaf = min(
+                    local_candidates,
+                    key=lambda lf: (
+                        self.layouts.scan_seconds(task, cnf, lf.address)
+                        + 0.05 * lf.load_snapshot().pressure,
+                        lf.worker_id,
+                    ),
+                )
+            else:
+                leaf = min(local_candidates, key=lambda lf: lf.load_snapshot().pressure)
             self._count(True)
             return Placement(leaf, True, self._estimate(leaf, task, cnf, True))
 
         # No replica holder available: minimize transfer + load.
         def remote_cost(leaf: LeafServer) -> float:
-            nbytes = task.block.bytes_for(task.columns) * task.block.scale_factor
-            xfer = min(
-                self.net.transfer_time_estimate(addr, leaf.address, int(nbytes))
-                for addr in replica_addrs
-            ) if replica_addrs else 0.0
+            if self.layouts is not None:
+                xfer = min(
+                    self.net.transfer_time_estimate(
+                        addr,
+                        leaf.address,
+                        int(self.layouts.replica_bytes(task, addr)),
+                    )
+                    for addr in replica_addrs
+                ) if replica_addrs else 0.0
+            else:
+                nbytes = self._task_bytes(task)
+                xfer = min(
+                    self.net.transfer_time_estimate(addr, leaf.address, int(nbytes))
+                    for addr in replica_addrs
+                ) if replica_addrs else 0.0
             return xfer + 0.05 * leaf.load_snapshot().pressure
 
         leaf = min(alive, key=remote_cost)
@@ -178,6 +227,10 @@ class JobScheduler:
     def _estimate(
         self, leaf: LeafServer, task: ScanTask, cnf: ConjunctiveForm, local: bool
     ) -> float:
+        if self.layouts is not None:
+            # Layout-aware estimate: prices the serving replica's variant
+            # and already includes the transfer leg for non-holders.
+            return self.layouts.scan_seconds(task, cnf, leaf.address)
         system, _ = self.router.resolve(self._effective_path(task))
         est = self.cost_model.task_seconds(
             task,
@@ -185,12 +238,13 @@ class JobScheduler:
             index_covered=False,
             bandwidth_factor=system.profile.bandwidth_factor,
             extra_latency_s=system.profile.first_byte_latency_s,
+            nbytes=self._task_bytes(task),
         )
         if not local:
             system, inner = self.router.resolve(self._effective_path(task))
             replicas = system.locations(inner)
             if replicas:
-                nbytes = task.block.bytes_for(task.columns) * task.block.scale_factor
+                nbytes = self._task_bytes(task)
                 est += min(
                     self.net.transfer_time_estimate(addr, leaf.address, int(nbytes))
                     for addr in replicas

@@ -190,6 +190,24 @@ class FeisuCluster:
                     self.tiering.attach_cache(leaf.ssd_cache)
             self.tiering.start()
 
+        #: Per-replica heterogeneous layouts (S54); same flag-gating
+        #: discipline as tiering — off means no daemon, no events, no
+        #: figure drift.
+        self.layouts = None
+        if self.config.leaf.enable_layouts:
+            from repro.storage.layouts import LayoutDaemon
+
+            self.layouts = LayoutDaemon(
+                self.sim,
+                self.net,
+                self.router,
+                cost_model=self.scheduler.cost_model,
+            )
+            self.scheduler.layouts = self.layouts
+            for leaf in self.leaves:
+                leaf.layouts = self.layouts
+            self.layouts.start()
+
         # Cross-domain metadata sharing (§I): every datacenter keeps a
         # directory replica of schemas and grants, synced periodically.
         from repro.cluster.domains import CrossDomainDirectory

@@ -167,13 +167,25 @@ def execute_scan_task(
     btree_provider: Optional[BTreeProvider] = None,
     now: float = 0.0,
     span=None,
+    layout=None,
 ) -> TaskResult:
     """Run one scan task against its (already fetched) block.
 
     ``span`` is the attempt's :class:`~repro.obs.trace.Span` (or None);
     the index probe is recorded as a child and the row counts as tags.
+
+    ``layout`` is the :class:`~repro.storage.layouts.LayoutSpec` the
+    served block carries (None for the base layout).  It never changes
+    *what* is computed — evaluation runs exact on every row — only what
+    the scan charges: a sorted variant pays its binary-searched
+    candidate fraction of the non-sort chunks, and a co-partitioned
+    variant pays the clustered join rate.  The caller is responsible for
+    passing ``index_manager=None`` alongside a non-base layout (variant
+    row order invalidates whole-block bitvectors, as with row slices).
     """
     row_slice = task.row_slice
+    if row_slice is not None:
+        layout = None  # slices are defined on base row order only
     if row_slice is not None:
         # Adaptive sub-task (S53): cover only rows [lo, hi) of the block.
         # The SmartIndex and B+ trees are whole-block structures — a mask
@@ -216,8 +228,31 @@ def execute_scan_task(
                 report.io_bytes += int(round(block.column_bytes(read_columns) * fraction))
                 report.cpu_ops += OPS_PER_DECODE * slice_rows * len(read_columns)
             else:
-                report.io_bytes += block.column_bytes(read_columns)
-                report.cpu_ops += OPS_PER_DECODE * block.num_rows * len(read_columns)
+                candidate_rows = (
+                    sorted_candidate_rows_for(layout, block, cnf, read_columns)
+                    if layout is not None
+                    else None
+                )
+                if candidate_rows is not None:
+                    # Sorted variant (S54): a binary search over the sort
+                    # column bounds the candidate range, so the scan pays
+                    # the sort chunk in full plus only the candidates'
+                    # share of every other chunk.  Evaluation below stays
+                    # exact over all rows — only the charge shrinks.
+                    fraction = candidate_rows / max(1, block.num_rows)
+                    sort_col = layout.sort_column
+                    rest = [c for c in read_columns if c != sort_col]
+                    report.io_bytes += block.column_bytes([sort_col]) + int(
+                        round(block.column_bytes(rest) * fraction)
+                    )
+                    report.cpu_ops += (
+                        OPS_PER_DECODE * block.num_rows
+                        + OPS_PER_DECODE * candidate_rows * len(rest)
+                        + 64.0  # the binary search itself
+                    )
+                else:
+                    report.io_bytes += block.column_bytes(read_columns)
+                    report.cpu_ops += OPS_PER_DECODE * block.num_rows * len(read_columns)
             report.io_seeks += 1
         frame = scan_block(block, read_columns) if read_columns else Frame(
             {}, block.num_rows if row_slice is None else slice_rows
@@ -238,7 +273,9 @@ def execute_scan_task(
     qualified = plan.has_joins
     if qualified:
         frame = prefix_columns(frame, task.binding)
-        frame = _apply_broadcast_joins(frame, plan, broadcast_frames or {}, report)
+        frame = _apply_broadcast_joins(
+            frame, plan, broadcast_frames or {}, report, layout=layout
+        )
     if plan.post_filter is not None and frame.num_rows > 0:
         resolve = _resolver_for(analyzed, frame, qualified)
         post_mask = evaluate(plan.post_filter, frame, resolve).astype(np.bool_)
@@ -412,6 +449,16 @@ def _evaluate_missing(
     return combined
 
 
+def sorted_candidate_rows_for(layout, block: Block, cnf, read_columns) -> Optional[int]:
+    """Candidate-row count for a sorted-variant read, or None when the
+    layout prunes nothing for this CNF (then the full price applies)."""
+    if layout.sort_column is None or layout.sort_column not in read_columns:
+        return None
+    from repro.storage.layouts import sorted_candidate_rows
+
+    return sorted_candidate_rows(block, layout.sort_column, cnf)
+
+
 def _expr_columns(expr: Expr) -> set:
     """Column names referenced anywhere in an expression tree."""
     out: set = set()
@@ -512,6 +559,7 @@ def _apply_broadcast_joins(
     plan: PhysicalPlan,
     broadcast_frames: Dict[str, Frame],
     report: TaskExecutionReport,
+    layout=None,
 ) -> Frame:
     analyzed = plan.analyzed
     for bc in plan.broadcasts:
@@ -533,7 +581,15 @@ def _apply_broadcast_joins(
                 Frame({**frame.columns, **dim_q.columns}, 0)
             ),
         )
-        report.cpu_ops += 3.0 * (before + dim.num_rows)
+        # Co-partitioned variant (S54): when the probe side arrives
+        # clustered by the join key, the hash probe's cache behaviour
+        # halves the effective per-row rate.
+        factor = 3.0
+        if layout is not None and layout.copartition_column is not None:
+            cond_cols = _expr_columns(bc.condition) if bc.condition is not None else set()
+            if layout.copartition_column in cond_cols:
+                factor = 1.5
+        report.cpu_ops += factor * (before + dim.num_rows)
     return frame
 
 

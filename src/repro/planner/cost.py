@@ -13,6 +13,7 @@ Units are simulated seconds, matching the DES clock.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.planner.cnf import ConjunctiveForm
 from repro.planner.physical import ScanTask
@@ -53,8 +54,16 @@ class CostModel:
             ops += 2.0 * len(clause.residuals)  # opaque exprs: rough charge
         return ops
 
-    def scan_io_seconds(self, task: ScanTask, bandwidth_factor: float = 1.0) -> float:
-        nbytes = task.block.bytes_for(task.columns) * task.block.scale_factor
+    def scan_io_seconds(
+        self,
+        task: ScanTask,
+        bandwidth_factor: float = 1.0,
+        nbytes: Optional[float] = None,
+    ) -> float:
+        """``nbytes`` lets a caller supply the (memoized) modeled read
+        size; None computes it from the block, the original behaviour."""
+        if nbytes is None:
+            nbytes = task.block.bytes_for(task.columns) * task.block.scale_factor
         bw = self.disk_bandwidth_bps * bandwidth_factor
         return self.disk_seek_s + nbytes / bw
 
@@ -117,6 +126,31 @@ class CostModel:
             + overhead
         )
 
+    def sized_task_seconds(
+        self,
+        nbytes: float,
+        modeled_rows: float,
+        cnf: ConjunctiveForm,
+        num_columns: int,
+        bandwidth_factor: float = 1.0,
+        extra_latency_s: float = 0.0,
+    ) -> float:
+        """Like :meth:`task_seconds` but for an explicitly-sized read.
+
+        The layout-aware scheduler (S54) prices a candidate replica by
+        the bytes *its* physical variant would actually serve — a
+        column-subset projection or a sorted replica's binary-searched
+        candidate range — rather than the catalog block's estimate.
+        """
+        io = (
+            extra_latency_s
+            + self.disk_seek_s
+            + nbytes / (self.disk_bandwidth_bps * bandwidth_factor)
+        )
+        decode_ops = OPS_PER_DECODE * modeled_rows * max(0, num_columns)
+        filter_ops = self.predicate_ops_per_row(cnf) * modeled_rows
+        return io + (decode_ops + filter_ops) / self.cpu_ops_per_sec
+
     def tier_saved_seconds(self, nbytes: float, cold_profile, hot_profile) -> float:
         """Scan-seconds one read saves after promotion cold → hot.
 
@@ -140,18 +174,21 @@ class CostModel:
         index_covered: bool = False,
         bandwidth_factor: float = 1.0,
         extra_latency_s: float = 0.0,
+        nbytes: Optional[float] = None,
     ) -> float:
         """End-to-end single-task estimate.
 
         With full SmartIndex cover, both the block scan I/O and the
         predicate evaluation are skipped (§IV-C-3): only the index pass
         and the (much smaller) projection read of matching rows remain.
+        ``nbytes`` optionally supplies a memoized modeled read size (see
+        :meth:`scan_io_seconds`).
         """
         if index_covered:
             return self.index_cpu_seconds(task, max(1, len(cnf.clauses)))
         return (
             extra_latency_s
-            + self.scan_io_seconds(task, bandwidth_factor)
+            + self.scan_io_seconds(task, bandwidth_factor, nbytes=nbytes)
             + self.scan_cpu_seconds(task, cnf)
         )
 

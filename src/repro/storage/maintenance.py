@@ -78,15 +78,28 @@ class ReplicaRepairer:
                     report.unrepairable.append(path)
                     break
                 source = min(survivors, key=lambda s: self.net.distance(s, target_node))
-                yield self.net.transfer(source, target_node, len(data), TrafficClass.WRITE)
+                # A replica is its *bytes plus its physical layout* (S54):
+                # re-replicating from a source serving a rewritten variant
+                # must copy that variant and its metadata, not silently
+                # revert the new copy to the base layout.
+                variant = self.system.replica_variant(path, source)
+                variant_meta = self.system.replica_meta(path, source)
+                copy_bytes = variant if variant is not None else data
+                yield self.net.transfer(
+                    source, target_node, len(copy_bytes), TrafficClass.WRITE
+                )
                 if not self.system.exists(path):
                     # Deleted (e.g. tiering demotion) while the copy was in
                     # flight — nothing to repair any more.
                     break
                 self.system.add_replica(path, target_node)
+                if variant is not None:
+                    self.system.set_replica_variant(
+                        path, target_node, variant, meta=variant_meta
+                    )
                 survivors = self.system.locations(path)
                 report.repairs_done += 1
-                report.bytes_copied += len(data)
+                report.bytes_copied += len(copy_bytes)
                 self.total_repairs += 1
         return report
 

@@ -1,0 +1,86 @@
+"""Chaos: a layout rewrite dies mid-publish (S54).
+
+The layout daemon ships each rewritten replica across the fabric and only
+publishes the variant after the transfer lands.  A total WRITE-class drop
+window must therefore leave *nothing* half-published: no variant appears,
+the base payload keeps serving every read, the replication floor holds,
+and the retry after the window clears lands the variant idempotently.
+"""
+
+from repro.cluster.jobs import JobStatus
+from repro.cluster.node import LeafConfig
+from repro.faults import FaultPlan, MessageDrop
+from repro.sim.netmodel import TrafficClass
+
+from tests.chaos.conftest import DEFAULT_SEED, make_harness
+
+SUCCEEDED = JobStatus.SUCCEEDED
+
+
+def test_crash_mid_layout_rewrite_keeps_replicas_readable(seed):
+    """Kill every layout-rewrite transfer for 60s: publish-after-write
+    means no variant may appear inside the window, answers stay exact on
+    the base payload throughout, no block drops below the replication
+    floor, and the daemon's retry publishes the variant once the fabric
+    heals."""
+    harness = make_harness(
+        seed, leaf=LeafConfig(enable_smartindex=False, enable_layouts=True)
+    )
+    daemon = harness.cluster.layouts
+    daemon.period_s = 15.0
+    storage = harness.cluster.storage_a
+    blocks = harness.cluster.catalog.get("T").blocks
+    inners = [harness.cluster.router.resolve(b.path)[1] for b in blocks]
+
+    # Every rewrite crosses the fabric (the source holder ships the
+    # variant to the target holder), so a total WRITE drop kills each
+    # attempt mid-transfer.  Window covers daemon cycles at ~15/30/45.
+    harness.install(
+        FaultPlan().add(
+            MessageDrop(probability=1.0, cls=TrafficClass.WRITE, at=0.0, duration=60.0)
+        )
+    )
+
+    # Seed census + heat inside the window: repeated c1 range predicates
+    # give every T block a dominant sortable predicate column and >= 3
+    # recorded scans (heat above the daemon's threshold), and the join
+    # adds the co-partition signal.
+    for sql in (harness.Q_COUNT, harness.Q_JOIN, harness.Q_COUNT):
+        job = harness.run(sql)
+        assert job.status is SUCCEEDED, job.error
+
+    # Let the in-window cycles fire.  Publish-after-write: a dropped
+    # transfer must leave no variant behind — every replica still serves
+    # the base bytes.
+    harness.sim.run(until=55.0)
+    assert all(storage.variant_nodes(inner) == [] for inner in inners)
+    during = harness.run(harness.Q_GROUP)
+    assert during.status is SUCCEEDED, during.error
+    if seed == DEFAULT_SEED:
+        assert daemon.stats.failed_rewrites >= 1  # the window did bite
+        assert daemon.stats.rewrites == 0
+
+    # Replication floor never depended on the variants: the base payload
+    # in the storage system is untouched by the whole affair.
+    for inner in inners:
+        assert len(storage.locations(inner)) >= storage.replication
+
+    # Fabric heals at t=60; keep the blocks hot so post-window cycles
+    # retry the identical rewrite and publish it.
+    for _ in range(4):
+        job = harness.run(harness.Q_COUNT)
+        assert job.status is SUCCEEDED, job.error
+        harness.sim.run(until=harness.sim.now + 20.0)
+
+    assert daemon.stats.rewrites >= 1  # the retry landed
+    assert any(storage.variant_nodes(inner) for inner in inners)
+    for inner in inners:
+        # Heterogeneous copies, same block: floor still holds and the
+        # base payload is still the readable source of truth.
+        assert len(storage.locations(inner)) >= storage.replication
+        assert storage.read(inner) is not None
+    after = harness.run(harness.Q_GROUP)
+    assert after.status is SUCCEEDED, after.error
+    if seed == DEFAULT_SEED:
+        assert daemon.stats.variant_reads >= 1  # routing reached a variant
+    harness.finish("crash_mid_layout_rewrite")

@@ -361,3 +361,34 @@ def test_leaf_overwrite_then_read_serves_fresh_bytes():
     result = cluster.query("SELECT COUNT(*) FROM T WHERE c1 < 50")
     assert result.rows()[0][0] == 0  # stale cache would answer 2000
     assert sum(leaf.ssd_cache.stale_invalidations for leaf in cluster.leaves) > 0
+
+
+def test_repair_restores_layout_variant_with_metadata():
+    """S54 satellite pin: a replica is its bytes *plus* its physical
+    layout.  Re-replicating from a source that serves a rewritten variant
+    must copy the variant bytes and its metadata — a repair that silently
+    reverts new copies to the base layout loses the Trojan design the
+    daemon paid to build."""
+    from repro.storage.maintenance import ReplicaRepairer
+
+    sim = Simulator()
+    spec = TopologySpec(1, 2, 4)
+    net = NetworkTopology(sim, spec)
+    fs = DistributedFS(spec.addresses(), seed=3)
+    fs.write("/f", b"x" * 1000)
+    holders = fs.locations("/f")
+    variant = b"v" * 400
+    meta = {"spec": {"sort": "c1", "columns": ["c1"], "index": None,
+                     "copartition": None}, "num_rows": 10}
+    fs.set_replica_variant("/f", holders[0], variant, meta=meta)
+    # Lose both base-only copies: the sole survivor serves the variant.
+    for node in holders[1:]:
+        fs.drop_replica("/f", node)
+    repairer = ReplicaRepairer(sim, net, fs)
+    report = sim.run_until_complete(sim.process(repairer.repair_once()))
+    assert report.repairs_done == 2
+    assert report.bytes_copied == 2 * len(variant)  # variant shipped, not base
+    for node in fs.locations("/f"):
+        assert fs.replica_variant("/f", node) == variant
+        assert fs.replica_meta("/f", node) == meta
+    assert fs.read("/f") == b"x" * 1000  # base payload stays authoritative

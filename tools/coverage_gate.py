@@ -68,6 +68,8 @@ TEST_ARGS = [
     "tests/test_storage_router.py",
     "tests/test_storage_systems.py",
     "tests/test_storage_tiering.py",
+    "tests/test_storage_layouts.py",
+    "tests/test_layout_property.py",
     "tests/test_new_features.py",
 ]
 
