@@ -1,0 +1,92 @@
+"""Run the elastic rebalancing bench and gate on ``BENCH_elastic.json``.
+
+Usage (from the repo root)::
+
+    PYTHONPATH=src python benchmarks/run_elastic.py            # compare
+    PYTHONPATH=src python benchmarks/run_elastic.py --update   # re-baseline
+
+Without ``--update`` the run fails (exit 1) when the S55 acceptance bar
+does not hold (identical rows on both twins, hot shard split and hot
+replicas spread, mean simulated latency cut by >= 25%, the
+join/decommission exercise stranding nothing on the departed node) or
+when the improvement drifts past the committed baseline.  The same gate
+runs under pytest via ``pytest -m elasticbench benchmarks``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+from elastic_bench import acceptance_failures, regressions, run_suite  # noqa: E402
+
+BASELINE_PATH = os.path.join(os.path.dirname(__file__), "BENCH_elastic.json")
+
+
+def format_results(results) -> str:
+    r = results["elastic_ablation"]
+    m = results["membership"]
+    lines = [
+        f"elastic ablation: {r['queries']:.0f} hot-domain queries, "
+        f"{r['shard_splits']:.0f} shard splits, "
+        f"{r['replica_spreads']:.0f} replica spreads, "
+        f"{r['migrations']:.0f} migrations "
+        f"({r['moved_bytes']:.0f} bytes moved)",
+        f"  static  mean latency {r['static_mean_latency_s']:8.4f} s (simulated)",
+        f"  elastic mean latency {r['elastic_mean_latency_s']:8.4f} s (simulated)",
+        f"  improvement: mean {r['mean_improvement']:.1%}   "
+        f"worst query {r['min_improvement']:.1%}",
+        f"  rows identical on every query: "
+        f"{'yes' if r['rows_identical'] == 1.0 else 'NO'}",
+        f"membership: {m['joins']:.0f} join(s), {m['decommissions']:.0f} "
+        f"decommission(s), {m['evacuations']:.0f} evacuation(s) "
+        f"({m['evacuated_replicas_held_before']:.0f} replicas held pre-drain), "
+        f"{m['stranded_on_departed']:.0f} stranded on departed nodes",
+        f"  rows identical after join+decommission: "
+        f"{'yes' if m['post_change_rows_identical'] == 1.0 else 'NO'}",
+    ]
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite the committed baseline from this run")
+    parser.add_argument("--baseline", default=BASELINE_PATH,
+                        help="baseline JSON path")
+    args = parser.parse_args(argv)
+
+    results = run_suite()
+    print(format_results(results))
+
+    problems = acceptance_failures(results)
+    if args.update:
+        with open(args.baseline, "w") as fh:
+            json.dump({"schema_version": 1, "runs": results}, fh, indent=2,
+                      sort_keys=True)
+            fh.write("\n")
+        print(f"\nbaseline written to {args.baseline}")
+    else:
+        if not os.path.exists(args.baseline):
+            print(f"\nno baseline at {args.baseline}; run with --update first")
+            return 1
+        with open(args.baseline) as fh:
+            baseline = json.load(fh)["runs"]
+        problems.extend(regressions(results, baseline))
+
+    if problems:
+        print("\nFAIL:")
+        for p in problems:
+            print(f"  - {p}")
+        return 1
+    print("\nOK: rebalancing beats the static hot-domain cluster without "
+          "changing answers, and departures strand nothing")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

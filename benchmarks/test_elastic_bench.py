@@ -1,0 +1,60 @@
+"""Elastic rebalancing gate (S55).
+
+Opt-in gate: ``pytest -m elasticbench benchmarks``.  Runs the hot-domain
+workload on static vs. ``enable_elastic`` twins and asserts (a) the S55
+acceptance bar — identical rows, hot shard split, hot replicas spread,
+mean simulated latency cut by >= 25%, the join/decommission exercise
+stranding nothing — and (b) no improvement drift past the committed
+``BENCH_elastic.json`` baseline.  Mirrors the layoutbench gate.
+"""
+
+import json
+import os
+import sys
+
+import pytest
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+import elastic_bench as _eb  # noqa: E402
+
+BASELINE = os.path.join(os.path.dirname(__file__), "BENCH_elastic.json")
+
+
+@pytest.fixture(scope="module")
+def elastic_results():
+    return _eb.run_suite()
+
+
+@pytest.mark.elasticbench
+def test_elastic_acceptance(elastic_results):
+    assert _eb.acceptance_failures(elastic_results) == []
+
+
+@pytest.mark.elasticbench
+def test_elastic_baseline_regression(elastic_results):
+    assert os.path.exists(BASELINE), (
+        "no committed baseline; run run_elastic.py --update"
+    )
+    with open(BASELINE) as fh:
+        baseline = json.load(fh)["runs"]
+    assert _eb.regressions(elastic_results, baseline) == []
+
+
+@pytest.mark.elasticbench
+def test_elastic_baseline_schema():
+    with open(BASELINE) as fh:
+        doc = json.load(fh)
+    assert doc["schema_version"] == 1
+    runs = doc["runs"]
+    assert set(runs) == {"elastic_ablation", "membership"}
+    r = runs["elastic_ablation"]
+    assert r["queries"] == _eb.NUM_QUERIES
+    assert r["rows_identical"] == 1.0
+    assert r["shard_splits"] >= 1.0
+    assert r["replica_spreads"] >= 1.0
+    assert r["mean_improvement"] >= _eb.MIN_MEAN_IMPROVEMENT
+    m = runs["membership"]
+    assert m["joins"] >= 1.0 and m["decommissions"] >= 1.0
+    assert m["stranded_on_departed"] == 0.0
+    assert m["post_change_rows_identical"] == 1.0

@@ -37,6 +37,10 @@ class WorkerRecord:
     alive: bool = True
     #: Times this worker came back after being declared dead.
     readmitted: int = 0
+    #: Graceful decommission in progress (S55): the worker keeps
+    #: heartbeating and finishes running tasks, but the scheduler stops
+    #: placing new work on it while its replicas are evacuated.
+    draining: bool = False
 
 
 class ClusterManager:
@@ -55,6 +59,33 @@ class ClusterManager:
         self._workers[worker_id] = WorkerRecord(
             worker_id, address, is_stem, last_heartbeat=self.sim.now
         )
+
+    def unregister(self, worker_id: str) -> None:
+        """Remove a worker from the registry entirely (S55 decommission).
+
+        Distinct from death: a dead worker stays in the table so a late
+        heartbeat triggers explicit re-admission, while an unregistered
+        worker is *gone* — any later heartbeat or lookup raises, and the
+        same id may re-register from scratch (a rejoin)."""
+        if worker_id not in self._workers:
+            raise ClusterStateError(f"unknown worker {worker_id!r}")
+        del self._workers[worker_id]
+
+    # -- drain lifecycle (S55) ---------------------------------------------
+
+    def start_drain(self, worker_id: str) -> None:
+        """Mark a worker draining: alive, heartbeating, but no longer a
+        placement target while its replicas are evacuated."""
+        self._record(worker_id).draining = True
+
+    def cancel_drain(self, worker_id: str) -> None:
+        self._record(worker_id).draining = False
+
+    def is_draining(self, worker_id: str) -> bool:
+        return self._record(worker_id).draining
+
+    def draining_workers(self) -> List[str]:
+        return [r.worker_id for r in self._workers.values() if r.draining]
 
     def on_readmit(self, listener: Callable[[str], None]) -> None:
         """Subscribe to explicit re-admissions (scheduler notification)."""

@@ -111,6 +111,14 @@ class LeafServer:
         #: Layout hook (:class:`repro.storage.layouts.LayoutDaemon`);
         #: None keeps every read on the base replica payload.
         self.layouts = None
+        #: Standalone heat hook (:class:`repro.storage.tiering.HeatTracker`);
+        #: the elastic rebalancer (S55) wires one here when tiering is off
+        #: so hot-domain detection still sees every access.  None (the
+        #: default) records nothing.
+        self.heat = None
+        #: Set by a completed decommission (S55): the heartbeat process
+        #: exits instead of looping forever on a dead worker.
+        self.retired = False
 
         self.disk = Disk(sim, name=f"{worker_id}.disk")
         self.ssd = Ssd(sim, name=f"{worker_id}.ssd")
@@ -204,10 +212,18 @@ class LeafServer:
     def recover(self) -> None:
         self.alive = True
 
+    def retire(self) -> None:
+        """Graceful exit after decommission (S55): unlike :meth:`crash`,
+        the worker leaves for good — its heartbeat process terminates."""
+        self.alive = False
+        self.retired = True
+
     def _heartbeat_loop(self) -> Generator[Event, None, None]:
         master_addr = NodeAddress(0, 0, 0)
         while True:
             yield self.sim.timeout(HEARTBEAT_PERIOD_S)
+            if self.retired:
+                return
             if not self.alive:
                 continue
             if self.faults is not None and self.faults.heartbeat_suppressed(self.worker_id):
@@ -458,6 +474,10 @@ class LeafServer:
         profile = system.profile
         if self.tiering is not None:
             self.tiering.record_access(
+                task.block.path, nbytes, reader=self.address, now=self.sim.now
+            )
+        if self.heat is not None:
+            self.heat.record(
                 task.block.path, nbytes, reader=self.address, now=self.sim.now
             )
         if self.ssd_cache is not None:

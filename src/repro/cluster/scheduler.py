@@ -99,6 +99,20 @@ class JobScheduler:
             self._leaves[leaf.worker_id] = leaf
             self._by_address[leaf.address] = leaf
 
+    def unregister_leaf(self, worker_id: str) -> None:
+        """Forget a decommissioned leaf (S55): it stops being a placement
+        candidate and ``leaf_at`` no longer resolves its address."""
+        with self._lock:
+            leaf = self._leaves.pop(worker_id, None)
+            if leaf is not None:
+                self._by_address.pop(leaf.address, None)
+
+    def _is_draining(self, worker_id: str) -> bool:
+        """True when the cluster manager marks the worker draining; a
+        manager without drain states (test doubles) drains nothing."""
+        is_draining = getattr(self.cluster_manager, "is_draining", None)
+        return bool(is_draining(worker_id)) if is_draining is not None else False
+
     def note_readmission(self, worker_id: str) -> None:
         """Cluster-manager callback: a dead-marked worker heartbeat again
         and is placeable once more."""
@@ -155,6 +169,12 @@ class JobScheduler:
             and self.cluster_manager.is_alive(leaf.worker_id)
             and leaf.worker_id not in exclude
         ]
+        # Draining workers (S55) take no new tasks while their replicas
+        # evacuate — unless they are the only live leaves left, in which
+        # case liveness beats drain strictness.
+        non_draining = [leaf for leaf in alive if not self._is_draining(leaf.worker_id)]
+        if non_draining:
+            alive = non_draining
         if prefer:
             preferred = [leaf for leaf in alive if leaf.worker_id in prefer]
             if preferred:

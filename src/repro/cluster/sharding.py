@@ -49,12 +49,19 @@ class ShardedClusterManager:
     def shard_count(self) -> int:
         return len(self._shards)
 
+    def _hash_shard(self, worker_id: str) -> ClusterManager:
+        digest = hashlib.blake2b(worker_id.encode(), digest_size=4).digest()
+        return self._shards[int.from_bytes(digest, "little") % len(self._shards)]
+
     def _shard_for(self, worker_id: str) -> ClusterManager:
+        # Only *registered* workers occupy the route cache.  Caching the
+        # hash route on any lookup let `is_alive("typo")` pin a permanent
+        # entry before the shard raised ClusterStateError, and a later
+        # legitimate register of that id then skipped the
+        # capacity-overflow rehoming below.
         shard = self._route.get(worker_id)
         if shard is None:
-            digest = hashlib.blake2b(worker_id.encode(), digest_size=4).digest()
-            shard = self._shards[int.from_bytes(digest, "little") % len(self._shards)]
-            self._route[worker_id] = shard
+            shard = self._hash_shard(worker_id)
         return shard
 
     def add_shard(self) -> None:
@@ -90,9 +97,15 @@ class ShardedClusterManager:
                     "every cluster-manager shard is at its heartbeat "
                     "connection limit; add_shard() first (§VII)"
                 )
-            self._route[worker_id] = spare
             shard = spare
         shard.register(worker_id, address, is_stem)
+        # Pin the route only after the shard accepted the registration —
+        # a duplicate-register error must not move an existing worker.
+        self._route[worker_id] = shard
+
+    def unregister(self, worker_id: str) -> None:
+        self._shard_for(worker_id).unregister(worker_id)
+        self._route.pop(worker_id, None)
 
     def heartbeat(self, worker_id: str, load: WorkerLoad) -> None:
         self._shard_for(worker_id).heartbeat(worker_id, load)
@@ -105,6 +118,21 @@ class ShardedClusterManager:
 
     def is_alive(self, worker_id: str) -> bool:
         return self._shard_for(worker_id).is_alive(worker_id)
+
+    def start_drain(self, worker_id: str) -> None:
+        self._shard_for(worker_id).start_drain(worker_id)
+
+    def cancel_drain(self, worker_id: str) -> None:
+        self._shard_for(worker_id).cancel_drain(worker_id)
+
+    def is_draining(self, worker_id: str) -> bool:
+        return self._shard_for(worker_id).is_draining(worker_id)
+
+    def draining_workers(self) -> List[str]:
+        out: List[str] = []
+        for shard in self._shards:
+            out.extend(shard.draining_workers())
+        return out
 
     def load_of(self, worker_id: str) -> WorkerLoad:
         return self._shard_for(worker_id).load_of(worker_id)

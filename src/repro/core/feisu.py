@@ -72,6 +72,15 @@ class FeisuConfig:
     #: waves, checkpoint re-planning, skew splitting and partition-level
     #: recovery.
     adaptive: Optional["object"] = None
+    #: Elastic membership and rebalancing (S55).  Off (the default)
+    #: constructs no daemon and adds no simulation events — committed
+    #: figure results stay byte-identical; on, the cluster gains node
+    #: join/decommission, a shard-aware rebalancer and autoscaling
+    #: proposals.
+    enable_elastic: bool = False
+    #: Optional :class:`repro.cluster.elastic.ElasticConfig` override;
+    #: ``None`` with ``enable_elastic=True`` uses the defaults.
+    elastic: Optional["object"] = None
 
     def topology(self) -> TopologySpec:
         return TopologySpec(self.datacenters, self.racks_per_datacenter, self.nodes_per_rack)
@@ -207,6 +216,15 @@ class FeisuCluster:
             for leaf in self.leaves:
                 leaf.layouts = self.layouts
             self.layouts.start()
+
+        #: Elastic membership + rebalancing (S55); flag-gated like
+        #: tiering and layouts so the default deployment is untouched.
+        self.elastic = None
+        if self.config.enable_elastic:
+            from repro.cluster.elastic import ElasticityManager
+
+            self.elastic = ElasticityManager(self, self.config.elastic)
+            self.elastic.start()
 
         # Cross-domain metadata sharing (§I): every datacenter keeps a
         # directory replica of schemas and grants, synced periodically.
@@ -459,6 +477,22 @@ class FeisuCluster:
             for leaf in self.leaves
             if leaf.index_manager is not None
         )
+
+    # -- S55 elastic membership --------------------------------------------
+
+    def join_node(self, datacenter: int = 0, rack: int = 0) -> LeafServer:
+        """Bring a new leaf into an existing rack (requires
+        ``enable_elastic``); returns the registered, heartbeating leaf."""
+        if self.elastic is None:
+            raise FeisuError("join_node requires FeisuConfig(enable_elastic=True)")
+        return self.elastic.join_node(datacenter, rack)
+
+    def decommission(self, worker_id: str) -> Event:
+        """Gracefully drain and remove a leaf (requires
+        ``enable_elastic``); returns the drain process event."""
+        if self.elastic is None:
+            raise FeisuError("decommission requires FeisuConfig(enable_elastic=True)")
+        return self.elastic.decommission(worker_id)
 
     def leaf_at(self, address: NodeAddress) -> LeafServer:
         leaf = self.scheduler.leaf_at(address)

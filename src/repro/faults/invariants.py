@@ -15,6 +15,8 @@ to preserve:
    task's result twice.
 5. **No corpse resurrection** — a worker whose process is dead is never
    re-admitted to the schedulable set by a stale heartbeat.
+6. **No departed-node placement** (S55) — after a decommission completes,
+   no block placement still references the departed node.
 
 The monitor accumulates violations instead of raising immediately so a
 scenario's report shows *everything* that went wrong; :meth:`assert_ok`
@@ -47,6 +49,7 @@ class InvariantMonitor:
         self.violations: List[str] = []
         self.jobs_checked = 0
         self._floors: Dict[str, Tuple[object, int]] = {}
+        self._departed: Dict[str, Tuple[object, Callable[[], List[object]]]] = {}
         cluster.cluster_manager.on_readmit(self._on_readmit)
 
     # -- invariant 5: corpse resurrection ---------------------------------
@@ -75,7 +78,25 @@ class InvariantMonitor:
             floor = getattr(system, "replication", 1)
         self._floors[system.name] = (system, floor)
 
+    def expect_no_departed(self, system, departed: Callable[[], List[object]]) -> None:
+        """Register a system whose placements must never reference a
+        departed node (S55 decommission): ``departed`` is a live callable
+        — e.g. ``lambda: elastic.departed`` — evaluated at check time, so
+        nodes that leave *after* registration are still covered."""
+        self._departed[system.name] = (system, departed)
+
     def check_replication(self) -> None:
+        for name, (system, departed) in self._departed.items():
+            gone = set(departed())
+            if not gone:
+                continue
+            for path in system.list_paths():
+                stranded = [n for n in system.locations(path) if n in gone]
+                if stranded:
+                    self._violate(
+                        f"departed-node placement for {name}:{path}: replicas "
+                        f"still listed on decommissioned node(s) {stranded}"
+                    )
         for name, (system, floor) in self._floors.items():
             for path in system.list_paths():
                 locs = system.locations(path)

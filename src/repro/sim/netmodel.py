@@ -141,6 +141,10 @@ class NetworkTopology:
         self._tor: Dict[Tuple[int, int], Link] = {}
         self._core: Dict[int, Link] = {}
         self._wan: Dict[Tuple[int, int], Link] = {}
+        #: Nodes admitted after boot (S55 elastic join).  Links are
+        #: per-rack/per-datacenter, not per-node, so a node joining an
+        #: existing rack shares that rack's ToR — no new Link objects.
+        self._admitted: set = set()
         for d in range(spec.datacenters):
             self._core[d] = Link(sim, f"core-dc{d}", CORE_BANDWIDTH_BPS, CORE_LATENCY_S)
             for r in range(spec.racks_per_datacenter):
@@ -153,7 +157,26 @@ class NetworkTopology:
 
     # -- path computation ----------------------------------------------
 
+    def admit_node(self, addr: NodeAddress) -> None:
+        """Cable up a node joining after boot (S55 elastic join).
+
+        The rack and datacenter must already exist — the ToR and core
+        links are physical — but the node index may exceed the boot
+        spec's ``nodes_per_rack``.  Idempotent."""
+        rack_ok = (
+            0 <= addr.datacenter < self.spec.datacenters
+            and 0 <= addr.rack < self.spec.racks_per_datacenter
+            and addr.node >= 0
+        )
+        if not rack_ok:
+            raise FeisuError(
+                f"cannot admit {addr}: no such rack in topology {self.spec}"
+            )
+        self._admitted.add(addr)
+
     def _validate(self, addr: NodeAddress) -> None:
+        if addr in self._admitted:
+            return
         ok = (
             0 <= addr.datacenter < self.spec.datacenters
             and 0 <= addr.rack < self.spec.racks_per_datacenter

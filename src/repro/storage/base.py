@@ -143,6 +143,52 @@ class StorageSystem(abc.ABC):
     def total_bytes(self) -> int:
         return sum(len(v) for v in self._files.values())
 
+    # -- node pool (S55 elastic membership) ------------------------------
+
+    def nodes(self) -> List[NodeAddress]:
+        """The nodes this system may place new replicas on."""
+        return list(getattr(self, "_nodes", []))
+
+    def add_node(self, node: NodeAddress) -> bool:
+        """Admit a joined node to the placement pool; returns whether it
+        was new.  Existing placements are untouched."""
+        pool = getattr(self, "_nodes", None)
+        if pool is None:
+            raise StorageError(f"{self.name}: system has no node pool")
+        if node in pool:
+            return False
+        pool.append(node)
+        return True
+
+    def remove_node(self, node: NodeAddress) -> None:
+        """Retire a node from the placement pool (S55 decommission).
+
+        Replicas it still holds must be evacuated *first*: retiring a
+        node that appears in any placement would strand those blocks on
+        a machine that is about to leave."""
+        pool = getattr(self, "_nodes", None)
+        if pool is None or node not in pool:
+            raise StorageError(f"{self.name}: {node} is not in the node pool")
+        stranded = self.held_paths(node)
+        if stranded:
+            raise StorageError(
+                f"{self.name}: {node} still holds {len(stranded)} replica(s) "
+                f"(e.g. {stranded[0]!r}); evacuate before removal"
+            )
+        pool.remove(node)
+
+    def held_paths(self, node: NodeAddress) -> List[str]:
+        """Paths whose placement includes ``node`` — the evacuation
+        work-list for a draining machine."""
+        return sorted(p for p, locs in self._placement.items() if node in locs)
+
+    def bytes_on(self, node: NodeAddress) -> int:
+        """Total payload bytes replicated onto ``node`` (load-balancing
+        input for the rebalancer)."""
+        return sum(
+            len(self._files[p]) for p, locs in self._placement.items() if node in locs
+        )
+
     # -- placement -------------------------------------------------------
 
     def locations(self, path: str) -> List[NodeAddress]:

@@ -289,6 +289,12 @@ class LayoutDaemon:
         self.min_evidence = min_evidence
         self.max_rewrites_per_cycle = max_rewrites_per_cycle
         self.census_top_k = census_top_k
+        #: Optional placement-eligibility predicate over node addresses
+        #: (S55): when wired to membership drain/liveness state the
+        #: daemon stops planning rewrites onto nodes that are dead or
+        #: draining — their replicas are being evacuated, variants and
+        #: all, not improved in place.
+        self.placement_ok = None
         self.stats = LayoutStats()
         self._census: Dict[str, _PathCensus] = {}
         self._histories: List = []
@@ -525,7 +531,10 @@ class LayoutDaemon:
             elif pred is not None and subset is not None:
                 desired[replicas[2]] = LayoutSpec(columns=subset, index_column=pred)
         return {
-            node: spec for node, spec in desired.items() if not spec.is_base
+            node: spec
+            for node, spec in desired.items()
+            if not spec.is_base
+            and (self.placement_ok is None or self.placement_ok(node))
         }
 
     def run_once(self) -> Generator[Event, None, None]:

@@ -11,7 +11,7 @@ Feisu's task-level fault tolerance.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Generator, List, Optional, Tuple
+from typing import Callable, Generator, List, Optional, Tuple
 
 from repro.sim.events import Event, Simulator
 from repro.sim.netmodel import NetworkTopology, NodeAddress, TrafficClass
@@ -41,11 +41,16 @@ class ReplicaRepairer:
         net: NetworkTopology,
         system: DistributedFS,
         scan_period_s: float = DEFAULT_SCAN_PERIOD_S,
+        liveness: Optional[Callable[[NodeAddress], bool]] = None,
     ):
         self.sim = sim
         self.net = net
         self.system = system
         self.scan_period_s = scan_period_s
+        #: Optional target-eligibility predicate (wire to
+        #: ``ClusterManager.is_alive`` / drain state): repairing onto a
+        #: dead or draining node restores nothing.
+        self.liveness = liveness
         self.total_repairs = 0
         self._running = False
 
@@ -94,9 +99,19 @@ class ReplicaRepairer:
                     break
                 self.system.add_replica(path, target_node)
                 if variant is not None:
-                    self.system.set_replica_variant(
-                        path, target_node, variant, meta=variant_meta
-                    )
+                    # The copy raced a layout rewrite or a block write: if
+                    # the source no longer serves the captured variant the
+                    # shipped bytes are stale — the new replica falls back
+                    # to the base payload instead of publishing a layout
+                    # that no longer matches any live copy.
+                    if (
+                        source in self.system.locations(path)
+                        and self.system.replica_variant(path, source) == variant
+                        and self.system.replica_meta(path, source) == variant_meta
+                    ):
+                        self.system.set_replica_variant(
+                            path, target_node, variant, meta=variant_meta
+                        )
                 survivors = self.system.locations(path)
                 report.repairs_done += 1
                 report.bytes_copied += len(copy_bytes)
@@ -108,7 +123,11 @@ class ReplicaRepairer:
         no current replica occupies (the HDFS placement invariant)."""
         held = set(existing)
         held_racks = {(a.datacenter, a.rack) for a in existing}
-        candidates = [n for n in self.system._nodes if n not in held]  # noqa: SLF001
+        candidates = [
+            n
+            for n in self.system._nodes  # noqa: SLF001
+            if n not in held and (self.liveness is None or self.liveness(n))
+        ]
         if not candidates:
             return None
         off_rack = [n for n in candidates if (n.datacenter, n.rack) not in held_racks]

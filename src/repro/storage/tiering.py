@@ -184,6 +184,11 @@ class TieringDaemon:
         self.max_promotions_per_cycle = max_promotions_per_cycle
         self.prefer_top_k = prefer_top_k
         self.stats = TieringStats()
+        #: Optional placement-eligibility predicate over node addresses
+        #: (S55): when set — the elastic manager wires it to membership
+        #: drain/liveness state — promotions and replica extensions skip
+        #: nodes that are dead or draining out of the cluster.
+        self.placement_ok = None
         #: cold full path -> hot full path, published only after the hot
         #: copy is fully written (crash before publish ⇒ clean retry).
         self._promoted: Dict[str, str] = {}
@@ -328,8 +333,15 @@ class TieringDaemon:
         sources = cold_system.locations(cold_inner)
         if not sources:
             return False
+        if reader is not None and self.placement_ok is not None and not self.placement_ok(reader):
+            reader = None  # the top reader is dead or draining away
         if reader is None:
-            reader = sources[0]
+            eligible = [
+                s for s in sources if self.placement_ok is None or self.placement_ok(s)
+            ]
+            if not eligible:
+                return False
+            reader = eligible[0]
         source = min(sources, key=lambda s: self.net.distance(s, reader))
         yield self.net.transfer(source, reader, len(data), TrafficClass.WRITE)
         if not cold_system.exists(cold_inner):
@@ -369,6 +381,8 @@ class TieringDaemon:
         holders = self.hot_system.locations(hot_inner)
         if reader in holders or not holders:
             return False
+        if self.placement_ok is not None and not self.placement_ok(reader):
+            return False  # never grow the replica set onto a departing node
         nbytes = self.hot_system.size(hot_inner)
         source = min(holders, key=lambda s: self.net.distance(s, reader))
         yield self.net.transfer(source, reader, nbytes, TrafficClass.WRITE)

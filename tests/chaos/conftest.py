@@ -42,6 +42,8 @@ def build_cluster(
     gateway=None,
     adaptive=None,
     scale_factor=None,
+    enable_elastic=False,
+    elastic=None,
 ):
     """A fresh wired cluster with known contents (fact T, dimension D)."""
     config = FeisuConfig(
@@ -50,6 +52,8 @@ def build_cluster(
         nodes_per_rack=nodes_per_rack,
         gateway=gateway,
         adaptive=adaptive,
+        enable_elastic=enable_elastic,
+        elastic=elastic,
     )
     if leaf is not None:
         config.leaf = leaf

@@ -392,3 +392,67 @@ def test_repair_restores_layout_variant_with_metadata():
         assert fs.replica_variant("/f", node) == variant
         assert fs.replica_meta("/f", node) == meta
     assert fs.read("/f") == b"x" * 1000  # base payload stays authoritative
+
+
+def test_repair_skips_stale_variant_after_inflight_rewrite():
+    """S55 satellite pin: the repairer captures the source's variant
+    *before* the copy transfer and previously published it unconditionally
+    after — so a block write (or layout rewrite) landing while the copy
+    was in flight left the new replica serving a variant no live copy
+    matched.  The fix re-checks the source after the transfer and falls
+    back to the base payload when the captured variant went stale."""
+    from repro.storage.maintenance import ReplicaRepairer
+
+    sim = Simulator()
+    spec = TopologySpec(1, 2, 4)
+    net = NetworkTopology(sim, spec)
+    fs = DistributedFS(spec.addresses(), seed=3)
+    fs.write("/f", b"x" * 1000)
+    holders = fs.locations("/f")
+    variant = b"v" * 1_000_000  # big enough that the copy takes sim time
+    meta = {"spec": {"sort": "c1"}, "num_rows": 10}
+    fs.set_replica_variant("/f", holders[0], variant, meta=meta)
+    for node in holders[1:]:
+        fs.drop_replica("/f", node)
+    repairer = ReplicaRepairer(sim, net, fs)
+    proc = sim.process(repairer.repair_once())
+    # Mid-transfer, the block is rewritten: every variant overlay is
+    # invalidated, so the bytes in flight no longer match any live copy.
+    sim.schedule(1e-4, lambda: fs.write("/f", b"y" * 1000))
+    report = sim.run_until_complete(proc)
+    assert report.repairs_done >= 1
+    for node in fs.locations("/f"):
+        # No replica may publish the stale pre-rewrite variant.
+        assert fs.replica_variant("/f", node) is None
+        assert fs.replica_meta("/f", node) is None
+    assert fs.read("/f") == b"y" * 1000
+
+
+def test_repair_honors_liveness_predicate():
+    """S55 satellite pin: ``_pick_target`` had no liveness filter, so a
+    repair could "restore" replication onto a dead or draining node —
+    bytes parked where no scan will ever read them.  The optional
+    ``liveness`` hook (wired to ``ClusterManager.is_alive`` by the
+    elastic manager) keeps repairs on serving nodes."""
+    from repro.storage.maintenance import ReplicaRepairer
+
+    sim = Simulator()
+    spec = TopologySpec(1, 2, 4)
+    net = NetworkTopology(sim, spec)
+    nodes = spec.addresses()
+    fs = DistributedFS(nodes, seed=3)
+    fs.write("/f", b"x" * 500)
+    holders = fs.locations("/f")
+    for node in holders[1:]:
+        fs.drop_replica("/f", node)
+    survivor = holders[0]
+    allowed = next(n for n in nodes if n != survivor)
+    repairer = ReplicaRepairer(
+        sim, net, fs, liveness=lambda n: n == survivor or n == allowed
+    )
+    report = sim.run_until_complete(sim.process(repairer.repair_once()))
+    # Only one eligible target exists: one repair lands there, the other
+    # copy is unrepairable rather than parked on an ineligible node.
+    assert report.repairs_done == 1
+    assert set(fs.locations("/f")) == {survivor, allowed}
+    assert "/f" in report.unrepairable

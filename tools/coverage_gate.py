@@ -49,6 +49,8 @@ TEST_ARGS = [
     "tests/test_cluster_node.py",
     "tests/test_cluster_scheduler.py",
     "tests/test_cluster_state_fixes.py",
+    "tests/test_elastic.py",
+    "tests/test_membership.py",
     "tests/test_engine_aggregates.py",
     "tests/test_engine_executor.py",
     "tests/test_engine_operators.py",
